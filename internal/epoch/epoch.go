@@ -1,0 +1,175 @@
+// Package epoch implements epoch-based memory reclamation (EBR), the
+// mechanism Dash uses so that optimistic, lock-free readers never follow a
+// pointer into a deallocated segment (§4.4): a segment retired by a merge or
+// a directory replacement is only handed back to the allocator once every
+// reader that could have observed it has exited its critical section.
+//
+// The scheme is the classic three-epoch design: a global epoch advances only
+// when every active guard has observed the current one, so anything retired
+// in epoch e is unreachable by the time the global epoch reaches e+2.
+package epoch
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// MaxGuards bounds the number of concurrently active guards.
+const MaxGuards = 512
+
+const (
+	activeBit = uint64(1) << 63
+	epochMask = activeBit - 1
+)
+
+// Manager coordinates guards and retired-object reclamation.
+type Manager struct {
+	global atomic.Uint64
+
+	slots [MaxGuards]paddedSlot
+
+	// Lock-free free list of slot indexes, so acquiring a guard costs two
+	// atomics instead of a table scan.
+	freeHead atomic.Uint64 // (index+1) | generation<<32; 0 = empty
+	freeNext [MaxGuards]atomic.Uint32
+
+	mu      sync.Mutex
+	retired [3][]retiredItem // indexed by epoch % 3
+	pending atomic.Uint64    // total retired not yet reclaimed
+
+	// AdvanceEvery controls how many retires trigger an advance+collect
+	// attempt. Defaults to 64.
+	AdvanceEvery uint64
+}
+
+type paddedSlot struct {
+	v atomic.Uint64 // activeBit | epoch
+	_ [56]byte
+}
+
+type retiredItem struct {
+	free func()
+}
+
+// NewManager returns a ready Manager.
+func NewManager() *Manager {
+	m := &Manager{AdvanceEvery: 64}
+	m.global.Store(1)
+	// Free list initially holds every slot. Encode head as index+1 with a
+	// generation counter in the high bits to defeat ABA.
+	for i := 0; i < MaxGuards-1; i++ {
+		m.freeNext[i].Store(uint32(i + 2))
+	}
+	m.freeNext[MaxGuards-1].Store(0)
+	m.freeHead.Store(1)
+	return m
+}
+
+// Guard marks a reader-side critical section.
+type Guard struct {
+	m    *Manager
+	slot int
+}
+
+// Enter opens a critical section and returns its guard. It spins briefly if
+// all MaxGuards slots are busy (which would take hundreds of concurrent
+// operations in flight).
+func (m *Manager) Enter() Guard {
+	idx := m.popSlot()
+	e := m.global.Load()
+	m.slots[idx].v.Store(activeBit | e)
+	return Guard{m: m, slot: idx}
+}
+
+// Exit closes the critical section.
+func (g Guard) Exit() {
+	g.m.slots[g.slot].v.Store(0)
+	g.m.pushSlot(g.slot)
+}
+
+func (m *Manager) popSlot() int {
+	for {
+		head := m.freeHead.Load()
+		idx := uint32(head)
+		if idx == 0 {
+			// All slots busy: extremely unlikely; cooperate and retry.
+			continue
+		}
+		next := m.freeNext[idx-1].Load()
+		gen := (head >> 32) + 1
+		if m.freeHead.CompareAndSwap(head, uint64(next)|gen<<32) {
+			return int(idx - 1)
+		}
+	}
+}
+
+func (m *Manager) pushSlot(i int) {
+	for {
+		head := m.freeHead.Load()
+		m.freeNext[i].Store(uint32(head))
+		gen := (head >> 32) + 1
+		if m.freeHead.CompareAndSwap(head, uint64(uint32(i+1))|gen<<32) {
+			return
+		}
+	}
+}
+
+// Retire schedules free to run once no active guard can still reach the
+// retired object.
+func (m *Manager) Retire(free func()) {
+	e := m.global.Load()
+	m.mu.Lock()
+	m.retired[e%3] = append(m.retired[e%3], retiredItem{free: free})
+	m.mu.Unlock()
+	if m.pending.Add(1)%m.maxPending() == 0 {
+		m.TryAdvance()
+	}
+}
+
+func (m *Manager) maxPending() uint64 {
+	if m.AdvanceEvery == 0 {
+		return 64
+	}
+	return m.AdvanceEvery
+}
+
+// TryAdvance advances the global epoch if every active guard has observed
+// it, then reclaims everything retired two epochs ago. Returns how many
+// objects were freed.
+func (m *Manager) TryAdvance() int {
+	e := m.global.Load()
+	for i := range m.slots {
+		v := m.slots[i].v.Load()
+		if v&activeBit != 0 && v&epochMask != e {
+			return 0 // a straggler still runs in an older epoch
+		}
+	}
+	if !m.global.CompareAndSwap(e, e+1) {
+		return 0 // someone else advanced; they will collect
+	}
+	// Everything retired in epoch e-1 is now two epochs old: no active
+	// guard can hold a reference.
+	m.mu.Lock()
+	bucket := (e + 1) % 3 // == (e-2) % 3
+	items := m.retired[bucket]
+	m.retired[bucket] = nil
+	m.mu.Unlock()
+	for _, it := range items {
+		it.free()
+	}
+	m.pending.Add(^uint64(len(items) - 1))
+	return len(items)
+}
+
+// Drain force-reclaims everything by advancing until the retire lists are
+// empty. It must only be called when no guards are active (e.g. shutdown).
+func (m *Manager) Drain() int {
+	total := 0
+	for i := 0; i < 4; i++ {
+		total += m.TryAdvance()
+	}
+	return total
+}
+
+// Pending returns how many retired objects await reclamation.
+func (m *Manager) Pending() uint64 { return m.pending.Load() }

@@ -1,0 +1,89 @@
+// Package hashfn provides the 64-bit hash used throughout the repository.
+//
+// The paper uses GCC's std::_Hash_bytes, which is MurmurHash-derived; this
+// package implements MurmurHash64A, the same family, giving uniform
+// high-quality 64-bit values. Dash consumes the value three ways (§4):
+// the least-significant byte is the fingerprint, the next bits select the
+// bucket within a segment, and the most-significant bits index the segment
+// directory.
+package hashfn
+
+import "encoding/binary"
+
+const (
+	murmurM = 0xc6a4a7935bd1e995
+	murmurR = 47
+)
+
+// DefaultSeed seeds every table unless a test overrides it.
+const DefaultSeed uint64 = 0xdeadbeefcafebabe
+
+// Hash64 computes MurmurHash64A of data with the given seed.
+func Hash64(data []byte, seed uint64) uint64 {
+	h := seed ^ uint64(len(data))*murmurM
+	n := len(data)
+	for ; n >= 8; n -= 8 {
+		k := binary.LittleEndian.Uint64(data[len(data)-n:])
+		k *= murmurM
+		k ^= k >> murmurR
+		k *= murmurM
+		h ^= k
+		h *= murmurM
+	}
+	tail := data[len(data)-n:]
+	switch n {
+	case 7:
+		h ^= uint64(tail[6]) << 48
+		fallthrough
+	case 6:
+		h ^= uint64(tail[5]) << 40
+		fallthrough
+	case 5:
+		h ^= uint64(tail[4]) << 32
+		fallthrough
+	case 4:
+		h ^= uint64(tail[3]) << 24
+		fallthrough
+	case 3:
+		h ^= uint64(tail[2]) << 16
+		fallthrough
+	case 2:
+		h ^= uint64(tail[1]) << 8
+		fallthrough
+	case 1:
+		h ^= uint64(tail[0])
+		h *= murmurM
+	}
+	h ^= h >> murmurR
+	h *= murmurM
+	h ^= h >> murmurR
+	return h
+}
+
+// HashU64 is the fixed-length fast path: MurmurHash64A of the 8 bytes of x.
+func HashU64(x, seed uint64) uint64 {
+	h := seed ^ 8*murmurM
+	k := x
+	k *= murmurM
+	k ^= k >> murmurR
+	k *= murmurM
+	h ^= k
+	h *= murmurM
+	h ^= h >> murmurR
+	h *= murmurM
+	h ^= h >> murmurR
+	return h
+}
+
+// Fingerprint returns the one-byte fingerprint of a hash value: its least
+// significant byte (§4.2).
+func Fingerprint(h uint64) uint8 { return uint8(h) }
+
+// SegmentIndex returns the directory index for h under the given global
+// depth, using the most-significant bits (§4.7 MSB scheme).
+func SegmentIndex(h uint64, depth uint8) uint64 {
+	if depth == 0 {
+		return 0
+	}
+	return h >> (64 - uint(depth))
+}

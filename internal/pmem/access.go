@@ -1,0 +1,176 @@
+package pmem
+
+import "sync/atomic"
+
+// The typed accessors below are the instrumented data path: they perform the
+// memory operation, record PM traffic, mark crash-tracking dirt and charge
+// the cost model. Data-structure code should touch the arena only through
+// them (or through Bytes paired with explicit TouchRead/TouchWrite) so that
+// the experiment counters mean something.
+
+func (p *Pool) onRead(a Addr, n uint64) {
+	lines := lineSpan(a, n)
+	p.stats.addRead(a, lines)
+	if p.model != nil {
+		p.model.chargeRead(lines)
+	}
+}
+
+func (p *Pool) onWrite(a Addr, n uint64) {
+	lines := lineSpan(a, n)
+	p.stats.addWrite(a, lines)
+	if p.model != nil {
+		p.model.chargeWrite(lines)
+	}
+	p.markDirty(a, n)
+}
+
+func lineSpan(a Addr, n uint64) uint64 {
+	if n == 0 {
+		return 0
+	}
+	first := uint64(a) / CachelineSize
+	last := (uint64(a) + n - 1) / CachelineSize
+	return last - first + 1
+}
+
+// TouchRead accounts a PM read of [a, a+n) performed through a raw Bytes
+// view (e.g. a bulk key comparison).
+func (p *Pool) TouchRead(a Addr, n uint64) { p.check(a, n); p.onRead(a, n) }
+
+// TouchWrite accounts a PM write of [a, a+n) performed through a raw Bytes
+// view. It also marks the lines dirty for crash tracking.
+func (p *Pool) TouchWrite(a Addr, n uint64) { p.check(a, n); p.onWrite(a, n) }
+
+// ReadU64 loads a little-endian-independent native uint64 at a (8-aligned).
+func (p *Pool) ReadU64(a Addr) uint64 {
+	p.check(a, 8)
+	p.onRead(a, 8)
+	return *(*uint64)(p.base(a))
+}
+
+// WriteU64 stores v at a (8-aligned). On x86 an aligned 8-byte store is
+// atomic with respect to tearing, which several Dash commit protocols rely
+// on; the simulation preserves that by using a single native store.
+func (p *Pool) WriteU64(a Addr, v uint64) {
+	p.check(a, 8)
+	p.onWrite(a, 8)
+	*(*uint64)(p.base(a)) = v
+}
+
+// ReadU32 loads a uint32 at a (4-aligned).
+func (p *Pool) ReadU32(a Addr) uint32 {
+	p.check(a, 4)
+	p.onRead(a, 4)
+	return *(*uint32)(p.base(a))
+}
+
+// WriteU32 stores v at a (4-aligned).
+func (p *Pool) WriteU32(a Addr, v uint32) {
+	p.check(a, 4)
+	p.onWrite(a, 4)
+	*(*uint32)(p.base(a)) = v
+}
+
+// ReadU8 loads one byte at a.
+func (p *Pool) ReadU8(a Addr) uint8 {
+	p.check(a, 1)
+	p.onRead(a, 1)
+	return p.data[a]
+}
+
+// WriteU8 stores one byte at a.
+func (p *Pool) WriteU8(a Addr, v uint8) {
+	p.check(a, 1)
+	p.onWrite(a, 1)
+	p.data[a] = v
+}
+
+// Atomic operations. These are both synchronization (for the simulated
+// threads) and 8-byte/4-byte atomic PM stores (for the simulated hardware).
+
+// LoadU64 atomically loads the uint64 at a.
+func (p *Pool) LoadU64(a Addr) uint64 {
+	p.check(a, 8)
+	p.onRead(a, 8)
+	return atomic.LoadUint64((*uint64)(p.base(a)))
+}
+
+// StoreU64 atomically stores v at a.
+func (p *Pool) StoreU64(a Addr, v uint64) {
+	p.check(a, 8)
+	p.onWrite(a, 8)
+	atomic.StoreUint64((*uint64)(p.base(a)), v)
+}
+
+// CompareAndSwapU64 executes a CAS on the uint64 at a.
+func (p *Pool) CompareAndSwapU64(a Addr, old, new uint64) bool {
+	p.check(a, 8)
+	p.onWrite(a, 8)
+	return atomic.CompareAndSwapUint64((*uint64)(p.base(a)), old, new)
+}
+
+// AddU64 atomically adds delta to the uint64 at a and returns the new value.
+func (p *Pool) AddU64(a Addr, delta uint64) uint64 {
+	p.check(a, 8)
+	p.onWrite(a, 8)
+	return atomic.AddUint64((*uint64)(p.base(a)), delta)
+}
+
+// LoadU32 atomically loads the uint32 at a.
+func (p *Pool) LoadU32(a Addr) uint32 {
+	p.check(a, 4)
+	p.onRead(a, 4)
+	return atomic.LoadUint32((*uint32)(p.base(a)))
+}
+
+// StoreU32 atomically stores v at a.
+func (p *Pool) StoreU32(a Addr, v uint32) {
+	p.check(a, 4)
+	p.onWrite(a, 4)
+	atomic.StoreUint32((*uint32)(p.base(a)), v)
+}
+
+// CompareAndSwapU32 executes a CAS on the uint32 at a.
+func (p *Pool) CompareAndSwapU32(a Addr, old, new uint32) bool {
+	p.check(a, 4)
+	p.onWrite(a, 4)
+	return atomic.CompareAndSwapUint32((*uint32)(p.base(a)), old, new)
+}
+
+// Copy copies n bytes from src to dst within the pool, accounting one read
+// and one write.
+func (p *Pool) Copy(dst, src Addr, n uint64) {
+	p.check(dst, n)
+	p.check(src, n)
+	p.onRead(src, n)
+	p.onWrite(dst, n)
+	copy(p.data[dst:uint64(dst)+n], p.data[src:uint64(src)+n])
+}
+
+// WriteBytes copies b into the pool at a.
+func (p *Pool) WriteBytes(a Addr, b []byte) {
+	n := uint64(len(b))
+	p.check(a, n)
+	p.onWrite(a, n)
+	copy(p.data[a:uint64(a)+n], b)
+}
+
+// ReadBytes copies n bytes at a out of the pool.
+func (p *Pool) ReadBytes(a Addr, n uint64) []byte {
+	p.check(a, n)
+	p.onRead(a, n)
+	out := make([]byte, n)
+	copy(out, p.data[a:uint64(a)+n])
+	return out
+}
+
+// Zero clears [a, a+n).
+func (p *Pool) Zero(a Addr, n uint64) {
+	p.check(a, n)
+	p.onWrite(a, n)
+	b := p.data[a : uint64(a)+n]
+	for i := range b {
+		b[i] = 0
+	}
+}

@@ -1,0 +1,142 @@
+package pmem
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// CostModel charges simulated Optane DCPMM costs on every tracked PM access.
+//
+// Two effects matter for reproducing the paper's curves:
+//
+//  1. Latency: an uncached PM read touches the media (~300ns device latency),
+//     while a store commits at the memory controller's ADR domain and is
+//     considerably cheaper end to end (§2.1). Base per-access latencies
+//     model this asymmetry.
+//
+//  2. Bandwidth: DCPMM delivers roughly 8× less random-read and 14× less
+//     random-write bandwidth than DRAM, so a multicore workload saturates it
+//     long before the cores run out (§1.1, Fig. 1). A shared virtual clock
+//     per direction regulates aggregate line throughput: each access books
+//     its service time on the clock and spins until its finish time, so
+//     once offered load exceeds the configured bandwidth, extra threads only
+//     add queueing delay — exactly the flat scalability plateau of Fig. 1.
+//
+// All costs scale by Scale so test suites can run the same code path fast.
+type CostModel struct {
+	// Base latencies, nanoseconds per access (not per line).
+	ReadLatencyNS  int64 // media read, paid when the line is not cached
+	WriteLatencyNS int64 // store absorbed by ADR
+	FlushNS        int64 // CLWB
+	FenceNS        int64 // SFENCE
+
+	// Bandwidth, expressed as nanoseconds of device time per cacheline.
+	// Aggregate throughput is capped near 1 line per this many ns.
+	ReadLineNS  int64
+	WriteLineNS int64
+
+	// Scale divides every delay; 0 or 1 means full cost, 10 runs 10× faster
+	// with the same relative shape.
+	Scale int64
+
+	readClock  atomic.Int64
+	writeClock atomic.Int64
+
+	epoch time.Time
+}
+
+// DefaultOptane returns a cost model shaped like the paper's testbed:
+// 6 interleaved 128GB DIMMs, ~300ns media reads, writes absorbed by ADR,
+// ~10GB/s aggregate random-read and ~2.5GB/s random-write bandwidth.
+func DefaultOptane() *CostModel {
+	return &CostModel{
+		ReadLatencyNS:  300,
+		WriteLatencyNS: 90,
+		FlushNS:        80,
+		FenceNS:        25,
+		ReadLineNS:     7,  // ≈ 9.1 GB/s aggregate
+		WriteLineNS:    26, // ≈ 2.5 GB/s aggregate
+		Scale:          1,
+		epoch:          time.Now(),
+	}
+}
+
+// ScaledOptane returns DefaultOptane sped up by factor (for tests).
+func ScaledOptane(factor int64) *CostModel {
+	m := DefaultOptane()
+	m.Scale = factor
+	return m
+}
+
+func (m *CostModel) now() int64 {
+	return int64(time.Since(m.epoch))
+}
+
+// regulate books costNS of device time on clock and returns how many
+// nanoseconds past "now" the access completes (0 when under capacity).
+func (m *CostModel) regulate(clock *atomic.Int64, costNS int64) int64 {
+	now := m.now()
+	finish := clock.Add(costNS)
+	wait := finish - now
+	if wait < 0 {
+		// Device idle: pull the clock up so idle time is not banked as
+		// credit. A lost race only under-charges one access.
+		clock.CompareAndSwap(finish, now)
+		return 0
+	}
+	return wait
+}
+
+func (m *CostModel) scale(ns int64) int64 {
+	if m.Scale > 1 {
+		return ns / m.Scale
+	}
+	return ns
+}
+
+func spinNS(ns int64) {
+	if ns <= 0 {
+		return
+	}
+	deadline := time.Now().Add(time.Duration(ns))
+	for time.Now().Before(deadline) {
+	}
+}
+
+func (m *CostModel) chargeRead(lines uint64) {
+	q := m.regulate(&m.readClock, m.scale(int64(lines)*m.ReadLineNS))
+	base := m.scale(m.ReadLatencyNS)
+	if q > base {
+		base = q
+	}
+	spinNS(base)
+}
+
+func (m *CostModel) chargeWrite(lines uint64) {
+	q := m.regulate(&m.writeClock, m.scale(int64(lines)*m.WriteLineNS))
+	base := m.scale(m.WriteLatencyNS)
+	if q > base {
+		base = q
+	}
+	spinNS(base)
+}
+
+func (m *CostModel) chargeFlush(lines uint64) {
+	// A flush pushes the lines toward media, consuming write bandwidth.
+	q := m.regulate(&m.writeClock, m.scale(int64(lines)*m.WriteLineNS))
+	base := m.scale(m.FlushNS)
+	if q > base {
+		base = q
+	}
+	spinNS(base)
+}
+
+func (m *CostModel) chargeFence() {
+	spinNS(m.scale(m.FenceNS))
+}
+
+// ChargeSyntheticNS spins for the scaled duration; used by substrate models
+// (e.g. page-fault costs in the allocator) that are not per-line.
+func (m *CostModel) ChargeSyntheticNS(ns int64) {
+	spinNS(m.scale(ns))
+}

@@ -1,0 +1,264 @@
+// Package pmem simulates byte-addressable persistent memory (Intel Optane
+// DCPMM in AppDirect mode) for data structures that must reason about
+// cacheline flushes, store fences and crash consistency.
+//
+// A Pool is one contiguous arena addressed by 64-bit offsets (Addr). Offsets
+// play the role of the paper's fixed-mapping 8-byte persistent pointers: they
+// are position independent, so an arena image reopened after a crash resolves
+// every pointer without relocation.
+//
+// The pool models the persistence domain of real hardware: a store becomes
+// durable only once its cacheline has been flushed (CLWB) and a fence has
+// ordered the flush. With crash tracking enabled the pool keeps a shadow
+// "media" image that receives data only on Flush; Crash discards everything
+// that never reached media, exactly like power loss discards dirty CPU
+// cachelines. An optional CostModel charges Optane-shaped latencies and a
+// bandwidth penalty so that excessive PM traffic destroys multicore
+// scalability the way it does on the real DIMMs.
+package pmem
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"unsafe"
+)
+
+// CachelineSize is the unit of flushing and of crash-atomicity tracking.
+const CachelineSize = 64
+
+// MediaBlockSize is Optane DCPMM's internal 256-byte access granularity;
+// the stats use it to report media-level traffic.
+const MediaBlockSize = 256
+
+// Addr is an offset into a Pool's arena. The zero Addr is the null pointer:
+// offset 0 is reserved and never handed out.
+type Addr uint64
+
+// Null is the zero Addr, never a valid allocation.
+const Null Addr = 0
+
+// IsNull reports whether a is the null persistent pointer.
+func (a Addr) IsNull() bool { return a == Null }
+
+// Add returns a offset by n bytes.
+func (a Addr) Add(n uint64) Addr { return a + Addr(n) }
+
+// Pool is a simulated persistent-memory arena.
+//
+// All mutating accessors go through the pool so that persistence tracking and
+// cost accounting observe every PM access. Concurrent use is safe in the same
+// sense raw memory is: distinct words may be accessed concurrently, and the
+// atomic accessors provide the usual synchronization. Crash tracking adds
+// internal locking and is intended for (mostly) single-threaded crash tests.
+type Pool struct {
+	data  []byte  // the arena; base is 8-byte aligned
+	words []uint64 // keeps the backing array alive and aligned
+
+	size uint64
+
+	stats Stats
+
+	model *CostModel // nil when cost charging is disabled
+
+	// Crash-tracking state; nil unless EnableCrashTracking was called.
+	crash *crashTracker
+}
+
+type crashTracker struct {
+	mu    sync.Mutex
+	media []byte // durable image; receives lines on Flush
+	dirty map[uint64]struct{} // cacheline indexes written since last flush
+}
+
+// Options configures a Pool.
+type Options struct {
+	// Size is the arena capacity in bytes. Rounded up to a cacheline.
+	Size uint64
+	// CostModel, when non-nil, charges simulated Optane latencies on every
+	// tracked PM access. Leave nil for functional tests.
+	CostModel *CostModel
+	// TrackCrashes enables the shadow media image used by Crash/Recover
+	// tests. It roughly doubles memory use and serializes writes, so it is
+	// meant for crash-consistency tests, not benchmarks.
+	TrackCrashes bool
+}
+
+// ErrTooSmall is returned when a pool would be too small to hold its root.
+var ErrTooSmall = errors.New("pmem: pool size too small")
+
+// NewPool creates an arena of the requested size. The first cacheline is
+// reserved so that Addr 0 can serve as the null pointer.
+func NewPool(opt Options) (*Pool, error) {
+	if opt.Size < 4*CachelineSize {
+		return nil, ErrTooSmall
+	}
+	size := (opt.Size + CachelineSize - 1) &^ (CachelineSize - 1)
+	words := make([]uint64, size/8)
+	p := &Pool{
+		words: words,
+		data:  unsafe.Slice((*byte)(unsafe.Pointer(&words[0])), size),
+		size:  size,
+		model: opt.CostModel,
+	}
+	if opt.TrackCrashes {
+		p.crash = &crashTracker{
+			media: make([]byte, size),
+			dirty: make(map[uint64]struct{}),
+		}
+	}
+	return p, nil
+}
+
+// Size returns the arena capacity in bytes.
+func (p *Pool) Size() uint64 { return p.size }
+
+// Stats returns a snapshot of the PM traffic counters.
+func (p *Pool) Stats() StatsSnapshot { return p.stats.snapshot() }
+
+// ResetStats zeroes the PM traffic counters.
+func (p *Pool) ResetStats() { p.stats.reset() }
+
+// CostModel returns the active cost model, or nil.
+func (p *Pool) Model() *CostModel { return p.model }
+
+// SetModel installs (or removes, with nil) the cost model. Not safe to call
+// concurrently with accesses.
+func (p *Pool) SetModel(m *CostModel) { p.model = m }
+
+func (p *Pool) check(a Addr, n uint64) {
+	if uint64(a) < CachelineSize || uint64(a)+n > p.size {
+		panic(fmt.Sprintf("pmem: access [%d,+%d) out of pool bounds [%d,%d)", a, n, CachelineSize, p.size))
+	}
+}
+
+// Bytes returns a mutable view of [a, a+n). The caller is responsible for
+// calling Flush to persist modifications; use the typed accessors when
+// accounting matters.
+func (p *Pool) Bytes(a Addr, n uint64) []byte {
+	p.check(a, n)
+	return p.data[a : uint64(a)+n : uint64(a)+n]
+}
+
+// base returns an unsafe pointer to offset a. a must be in bounds.
+func (p *Pool) base(a Addr) unsafe.Pointer {
+	return unsafe.Pointer(&p.data[a])
+}
+
+// markDirty records that the cachelines covering [a, a+n) hold unflushed
+// stores (crash tracking only).
+func (p *Pool) markDirty(a Addr, n uint64) {
+	if p.crash == nil || n == 0 {
+		return
+	}
+	first := uint64(a) / CachelineSize
+	last := (uint64(a) + n - 1) / CachelineSize
+	p.crash.mu.Lock()
+	for l := first; l <= last; l++ {
+		p.crash.dirty[l] = struct{}{}
+	}
+	p.crash.mu.Unlock()
+}
+
+// Flush simulates CLWB over the cachelines covering [a, a+n): the lines are
+// copied to the durable media image (when crash tracking is on), counted,
+// and charged by the cost model. On real hardware the flush only becomes
+// ordered at the next Fence; the simulation persists eagerly, which is a
+// strictly weaker adversary for ordering bugs *within* a line but identical
+// at the granularity crash tests exercise (whole lines either survive or
+// vanish).
+func (p *Pool) Flush(a Addr, n uint64) {
+	if n == 0 {
+		return
+	}
+	p.check(a, n)
+	first := uint64(a) / CachelineSize
+	last := (uint64(a) + n - 1) / CachelineSize
+	lines := last - first + 1
+	p.stats.addFlush(a, lines)
+	if p.model != nil {
+		p.model.chargeFlush(lines)
+	}
+	if p.crash != nil {
+		p.crash.mu.Lock()
+		for l := first; l <= last; l++ {
+			off := l * CachelineSize
+			copy(p.crash.media[off:off+CachelineSize], p.data[off:off+CachelineSize])
+			delete(p.crash.dirty, l)
+		}
+		p.crash.mu.Unlock()
+	}
+}
+
+// Fence simulates SFENCE ordering of prior flushes. With the eager Flush
+// model it only costs accounting.
+func (p *Pool) Fence() {
+	p.stats.addFence()
+	if p.model != nil {
+		p.model.chargeFence()
+	}
+}
+
+// Persist is the common Flush+Fence pair.
+func (p *Pool) Persist(a Addr, n uint64) {
+	p.Flush(a, n)
+	p.Fence()
+}
+
+// Crash simulates power loss: every cacheline not flushed since its last
+// store reverts to its media content. Requires TrackCrashes. The pool remains
+// usable; callers then run their recovery procedure.
+func (p *Pool) Crash() {
+	if p.crash == nil {
+		panic("pmem: Crash called without TrackCrashes")
+	}
+	p.crash.mu.Lock()
+	defer p.crash.mu.Unlock()
+	for l := range p.crash.dirty {
+		off := l * CachelineSize
+		copy(p.data[off:off+CachelineSize], p.crash.media[off:off+CachelineSize])
+		delete(p.crash.dirty, l)
+	}
+}
+
+// DirtyLines reports how many cachelines currently hold unflushed stores.
+func (p *Pool) DirtyLines() int {
+	if p.crash == nil {
+		return 0
+	}
+	p.crash.mu.Lock()
+	defer p.crash.mu.Unlock()
+	return len(p.crash.dirty)
+}
+
+// Snapshot copies the *durable* image of the pool (media content if crash
+// tracking is enabled, else current content). Reopening the snapshot models
+// restart after a clean or unclean shutdown.
+func (p *Pool) Snapshot() []byte {
+	out := make([]byte, p.size)
+	if p.crash != nil {
+		p.crash.mu.Lock()
+		copy(out, p.crash.media)
+		// Lines never written since pool creation are identical in both
+		// images, so copying media alone is correct: media starts zeroed
+		// exactly like the arena.
+		p.crash.mu.Unlock()
+		return out
+	}
+	copy(out, p.data)
+	return out
+}
+
+// OpenSnapshot builds a pool from a durable image produced by Snapshot.
+func OpenSnapshot(img []byte, opt Options) (*Pool, error) {
+	opt.Size = uint64(len(img))
+	p, err := NewPool(opt)
+	if err != nil {
+		return nil, err
+	}
+	copy(p.data, img)
+	if p.crash != nil {
+		copy(p.crash.media, img)
+	}
+	return p, nil
+}

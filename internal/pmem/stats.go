@@ -1,0 +1,85 @@
+package pmem
+
+import "sync/atomic"
+
+// statsShards spreads the hot counters over independent cachelines so that
+// accounting does not itself become the scalability bottleneck it measures.
+// Reads, writes and flushes shard by the address they touch (addresses are
+// well spread in a hash table); fences have no address and use a dedicated
+// round-robin cursor, which is cold enough not to matter.
+const statsShards = 64
+
+type statsShard struct {
+	readLines  atomic.Uint64
+	writeLines atomic.Uint64
+	flushes    atomic.Uint64
+	fences     atomic.Uint64
+	_          [32]byte // pad to a cacheline
+}
+
+// Stats accumulates PM traffic at cacheline granularity.
+type Stats struct {
+	shards      [statsShards]statsShard
+	fenceCursor atomic.Uint32
+}
+
+func shardIndex(a Addr) int {
+	l := uint64(a) / CachelineSize
+	// Mix so that strided access patterns still spread across shards.
+	l ^= l >> 7
+	return int(l % statsShards)
+}
+
+func (s *Stats) addRead(a Addr, lines uint64)  { s.shards[shardIndex(a)].readLines.Add(lines) }
+func (s *Stats) addWrite(a Addr, lines uint64) { s.shards[shardIndex(a)].writeLines.Add(lines) }
+func (s *Stats) addFlush(a Addr, lines uint64) { s.shards[shardIndex(a)].flushes.Add(lines) }
+
+func (s *Stats) addFence() {
+	s.shards[s.fenceCursor.Add(1)%statsShards].fences.Add(1)
+}
+
+// StatsSnapshot is a point-in-time view of PM traffic.
+type StatsSnapshot struct {
+	// ReadLines and WriteLines count cachelines touched by reads/writes.
+	ReadLines, WriteLines uint64
+	// FlushedLines counts cachelines flushed (CLWB), Fences counts SFENCEs.
+	FlushedLines, Fences uint64
+}
+
+// MediaReadBlocks estimates 256-byte media blocks read, Optane's internal
+// granularity: four cachelines per block, rounded up per access line.
+func (s StatsSnapshot) MediaReadBlocks() uint64 {
+	return (s.ReadLines*CachelineSize + MediaBlockSize - 1) / MediaBlockSize
+}
+
+// Sub returns s minus earlier, for windowed measurements.
+func (s StatsSnapshot) Sub(earlier StatsSnapshot) StatsSnapshot {
+	return StatsSnapshot{
+		ReadLines:    s.ReadLines - earlier.ReadLines,
+		WriteLines:   s.WriteLines - earlier.WriteLines,
+		FlushedLines: s.FlushedLines - earlier.FlushedLines,
+		Fences:       s.Fences - earlier.Fences,
+	}
+}
+
+func (s *Stats) snapshot() StatsSnapshot {
+	var out StatsSnapshot
+	for i := range s.shards {
+		sh := &s.shards[i]
+		out.ReadLines += sh.readLines.Load()
+		out.WriteLines += sh.writeLines.Load()
+		out.FlushedLines += sh.flushes.Load()
+		out.Fences += sh.fences.Load()
+	}
+	return out
+}
+
+func (s *Stats) reset() {
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.readLines.Store(0)
+		sh.writeLines.Store(0)
+		sh.flushes.Store(0)
+		sh.fences.Store(0)
+	}
+}
