@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: all vet build test race ci fmt-check
+
+all: ci
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+# ci is the gate every change must pass: vet, build, and the full test
+# suite under the race detector (the concurrency tests rely on it).
+ci: fmt-check vet build race

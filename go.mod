@@ -1,0 +1,3 @@
+module dash
+
+go 1.24

@@ -1,0 +1,276 @@
+package core
+
+import (
+	"math/bits"
+	"runtime"
+
+	"dash/internal/pmem"
+)
+
+// Bucket layer (§4.1–4.2). A bucket is one 256-byte PM block: a 32-byte
+// header followed by 14 fixed-size records. The header packs everything a
+// probe needs — version lock, allocation bitmap, per-slot fingerprints and
+// the overflow ("stash") tracking metadata — into four 8-byte words so that
+// every shared field is read and written with aligned atomic u64 accesses.
+// That keeps optimistic lock-free readers within the Go memory model (and
+// clean under -race) while preserving the paper's layout goals: the header
+// lives in the bucket's first cacheline, so a negative probe costs one PM
+// read, and the bitmap word is the single atomic commit point for inserts.
+//
+//	word 0 (off  0): version lock — seqlock counter, odd = write-locked
+//	word 1 (off  8): bits 0..13  allocation bitmap (slot in use)
+//	                 bits 16..19 overflow-slot bitmap
+//	                 bits 24..31 overflow count (untracked stash spills)
+//	                 bits 32..63 overflow fingerprints [4]uint8
+//	word 2 (off 16): fingerprints of slots 0..7
+//	word 3 (off 24): bytes 0..5 fingerprints of slots 8..13
+//	                 byte 6: overflow stash indexes, 2 bits per overflow slot
+//	records (off 32): 14 × 16-byte KV records
+const (
+	bucketSize     = 256
+	slotsPerBucket = 14
+
+	bkOffVersion = 0
+	bkOffMeta    = 8
+	bkOffFPLo    = 16
+	bkOffFPHi    = 24
+	bkOffRecords = 32
+
+	// maxOvSlots is how many stash spills a bucket tracks precisely by
+	// fingerprint; further spills only bump the overflow count and force a
+	// full stash scan on lookup (§4.2).
+	maxOvSlots = 4
+
+	slotMask = (1 << slotsPerBucket) - 1
+)
+
+// --- pure bit helpers on the packed header words (unit-testable) ---
+
+func metaSlotUsed(m uint64, slot int) bool { return m&(1<<uint(slot)) != 0 }
+func metaSetSlot(m uint64, slot int) uint64 {
+	return m | 1<<uint(slot)
+}
+func metaClearSlot(m uint64, slot int) uint64 { return m &^ (1 << uint(slot)) }
+func metaFreeSlots(m uint64) int {
+	return slotsPerBucket - bits.OnesCount64(m&slotMask)
+}
+func metaFirstFree(m uint64) int {
+	free := ^m & slotMask
+	if free == 0 {
+		return -1
+	}
+	return bits.TrailingZeros64(free)
+}
+
+func metaOvSlotUsed(m uint64, i int) bool { return m&(1<<uint(16+i)) != 0 }
+func metaOvFP(m uint64, i int) uint8      { return uint8(m >> uint(32+8*i)) }
+func metaSetOvFP(m uint64, i int, fp uint8) uint64 {
+	m |= 1 << uint(16+i)
+	m &^= 0xFF << uint(32+8*i)
+	return m | uint64(fp)<<uint(32+8*i)
+}
+func metaClearOvFP(m uint64, i int) uint64 {
+	return m &^ (1<<uint(16+i) | 0xFF<<uint(32+8*i))
+}
+func metaOvCount(m uint64) uint64 { return (m >> 24) & 0xFF }
+func metaAddOvCount(m uint64, delta int) uint64 {
+	c := metaOvCount(m)
+	if delta > 0 {
+		if c < 0xFF {
+			c++
+		}
+	} else if c > 0 {
+		c--
+	}
+	return m&^(0xFF<<24) | c<<24
+}
+
+func fpGet(lo, hi uint64, slot int) uint8 {
+	if slot < 8 {
+		return uint8(lo >> uint(8*slot))
+	}
+	return uint8(hi >> uint(8*(slot-8)))
+}
+func fpSet(lo, hi uint64, slot int, fp uint8) (uint64, uint64) {
+	if slot < 8 {
+		lo = lo&^(0xFF<<uint(8*slot)) | uint64(fp)<<uint(8*slot)
+		return lo, hi
+	}
+	sh := uint(8 * (slot - 8))
+	hi = hi&^(0xFF<<sh) | uint64(fp)<<sh
+	return lo, hi
+}
+
+func ovIdxGet(hi uint64, i int) int { return int(hi>>uint(48+2*i)) & 3 }
+func ovIdxSet(hi uint64, i, idx int) uint64 {
+	sh := uint(48 + 2*i)
+	return hi&^(3<<sh) | uint64(idx&3)<<sh
+}
+
+func recordAddr(b pmem.Addr, slot int) pmem.Addr {
+	return b.Add(uint64(bkOffRecords + pmem.RecordSize*slot))
+}
+
+// --- version lock (seqlock: even = free, odd = write-locked) ---
+
+func lockBucket(p *pmem.Pool, b pmem.Addr) {
+	va := b.Add(bkOffVersion)
+	for {
+		v := p.QuietLoadU64(va)
+		if v&1 == 0 && p.CompareAndSwapU64(va, v, v+1) {
+			return
+		}
+		runtime.Gosched()
+	}
+}
+
+func tryLockBucket(p *pmem.Pool, b pmem.Addr) bool {
+	va := b.Add(bkOffVersion)
+	v := p.QuietLoadU64(va)
+	return v&1 == 0 && p.CompareAndSwapU64(va, v, v+1)
+}
+
+// unlockBucket releases the lock and advances the version so that any
+// optimistic reader whose scan overlapped the critical section retries. The
+// lock word is deliberately never flushed: it is DRAM-meaning state that
+// recovery resets wholesale after a crash.
+func unlockBucket(p *pmem.Pool, b pmem.Addr) {
+	va := b.Add(bkOffVersion)
+	p.StoreU64(va, p.QuietLoadU64(va)+1)
+}
+
+// --- writer-side operations; the caller holds the bucket's lock ---
+
+// bucketFindLocked probes fingerprint-first: only slots whose one-byte
+// fingerprint matches are dereferenced, bounding PM reads per probe (§4.1).
+func bucketFindLocked(p *pmem.Pool, b pmem.Addr, fp uint8, key uint64) int {
+	m := p.LoadU64(b.Add(bkOffMeta))
+	lo := p.QuietLoadU64(b.Add(bkOffFPLo))
+	hi := p.QuietLoadU64(b.Add(bkOffFPHi))
+	for slot := 0; slot < slotsPerBucket; slot++ {
+		if !metaSlotUsed(m, slot) || fpGet(lo, hi, slot) != fp {
+			continue
+		}
+		if p.ReadKey(recordAddr(b, slot)) == key {
+			return slot
+		}
+	}
+	return -1
+}
+
+func bucketFreeSlots(p *pmem.Pool, b pmem.Addr) int {
+	return metaFreeSlots(p.LoadU64(b.Add(bkOffMeta)))
+}
+
+// bucketInsertLocked writes the record, persists it, and only then publishes
+// it by setting fingerprint and bitmap and persisting the header word. The
+// single atomic bitmap store is the commit point: a crash before the header
+// line is flushed leaves the slot invisible, a crash after leaves the whole
+// record durable (§4.1 insert ordering).
+func bucketInsertLocked(p *pmem.Pool, b pmem.Addr, fp uint8, kv pmem.KV) bool {
+	m := p.LoadU64(b.Add(bkOffMeta))
+	slot := metaFirstFree(m)
+	if slot < 0 {
+		return false
+	}
+	ra := recordAddr(b, slot)
+	p.WriteKV(ra, kv)
+	p.PersistKV(ra)
+	lo := p.QuietLoadU64(b.Add(bkOffFPLo))
+	hi := p.QuietLoadU64(b.Add(bkOffFPHi))
+	lo, hi = fpSet(lo, hi, slot, fp)
+	p.StoreU64(b.Add(bkOffFPLo), lo)
+	p.StoreU64(b.Add(bkOffFPHi), hi)
+	p.StoreU64(b.Add(bkOffMeta), metaSetSlot(m, slot))
+	// Meta and fingerprint words share the bucket's first cacheline, so one
+	// flush makes the publish atomic at crash granularity.
+	p.Persist(b.Add(bkOffMeta), 24)
+	return true
+}
+
+// bucketDeleteLocked unpublishes a slot. Clearing the bitmap bit is the
+// whole operation; the record bytes and fingerprint become dead.
+func bucketDeleteLocked(p *pmem.Pool, b pmem.Addr, slot int) {
+	m := p.LoadU64(b.Add(bkOffMeta))
+	p.StoreU64(b.Add(bkOffMeta), metaClearSlot(m, slot))
+	p.Persist(b.Add(bkOffMeta), 8)
+}
+
+// bucketTrackOverflow records in the home bucket that one of its keys went
+// to stash bucket stashIdx: precisely (fingerprint + stash index) while a
+// tracking slot is free, otherwise by bumping the overflow count.
+func bucketTrackOverflow(p *pmem.Pool, b pmem.Addr, fp uint8, stashIdx int) {
+	m := p.LoadU64(b.Add(bkOffMeta))
+	for i := 0; i < maxOvSlots; i++ {
+		if metaOvSlotUsed(m, i) {
+			continue
+		}
+		hi := p.QuietLoadU64(b.Add(bkOffFPHi))
+		p.StoreU64(b.Add(bkOffFPHi), ovIdxSet(hi, i, stashIdx))
+		p.StoreU64(b.Add(bkOffMeta), metaSetOvFP(m, i, fp))
+		p.Persist(b.Add(bkOffMeta), 24)
+		return
+	}
+	p.StoreU64(b.Add(bkOffMeta), metaAddOvCount(m, +1))
+	p.Persist(b.Add(bkOffMeta), 8)
+}
+
+// bucketUntrackOverflow undoes bucketTrackOverflow for a record leaving the
+// stash: trackedSlot names the tracking slot when the record was tracked,
+// or -1 when it was only counted.
+func bucketUntrackOverflow(p *pmem.Pool, b pmem.Addr, trackedSlot int) {
+	m := p.LoadU64(b.Add(bkOffMeta))
+	if trackedSlot >= 0 {
+		p.StoreU64(b.Add(bkOffMeta), metaClearOvFP(m, trackedSlot))
+	} else {
+		p.StoreU64(b.Add(bkOffMeta), metaAddOvCount(m, -1))
+	}
+	p.Persist(b.Add(bkOffMeta), 8)
+}
+
+// findTrackedSlot returns the home bucket's tracking slot matching
+// (fingerprint, stash index), or -1.
+func findTrackedSlot(p *pmem.Pool, b pmem.Addr, fp uint8, stashIdx int) int {
+	m := p.QuietLoadU64(b.Add(bkOffMeta))
+	hi := p.QuietLoadU64(b.Add(bkOffFPHi))
+	for i := 0; i < maxOvSlots; i++ {
+		if metaOvSlotUsed(m, i) && metaOvFP(m, i) == fp && ovIdxGet(hi, i) == stashIdx {
+			return i
+		}
+	}
+	return -1
+}
+
+// --- reader-side operation: optimistic, lock-free ---
+
+// bucketSearchOpt scans one bucket without taking its lock. It loops until a
+// scan completes under an unchanged even version (seqlock read), so the
+// returned result — and the header words handed back for overflow-probing
+// decisions — form a consistent snapshot.
+func bucketSearchOpt(p *pmem.Pool, b pmem.Addr, fp uint8, key uint64) (val uint64, found bool, m, hi uint64) {
+	va := b.Add(bkOffVersion)
+	for {
+		v := p.LoadU64(va)
+		if v&1 != 0 {
+			runtime.Gosched()
+			continue
+		}
+		m = p.LoadU64(b.Add(bkOffMeta))
+		lo := p.QuietLoadU64(b.Add(bkOffFPLo))
+		hi = p.QuietLoadU64(b.Add(bkOffFPHi))
+		val, found = 0, false
+		for slot := 0; slot < slotsPerBucket; slot++ {
+			if !metaSlotUsed(m, slot) || fpGet(lo, hi, slot) != fp {
+				continue
+			}
+			kv := p.ReadKV(recordAddr(b, slot))
+			if kv.Key == key {
+				val, found = kv.Value, true
+				break
+			}
+		}
+		if p.QuietLoadU64(va) == v {
+			return
+		}
+	}
+}

@@ -1,0 +1,85 @@
+package core
+
+import "testing"
+
+func TestMetaBitHelpers(t *testing.T) {
+	var m uint64
+	if metaFirstFree(m) != 0 || metaFreeSlots(m) != slotsPerBucket {
+		t.Fatal("empty bucket should have all slots free")
+	}
+	for i := 0; i < slotsPerBucket; i++ {
+		m = metaSetSlot(m, i)
+	}
+	if metaFirstFree(m) != -1 || metaFreeSlots(m) != 0 {
+		t.Fatal("full bucket should have no free slots")
+	}
+	m = metaClearSlot(m, 5)
+	if metaFirstFree(m) != 5 || !metaSlotUsed(m, 4) || metaSlotUsed(m, 5) {
+		t.Fatal("clear slot 5 not reflected")
+	}
+}
+
+func TestMetaOverflowHelpers(t *testing.T) {
+	var m uint64
+	for i := 0; i < maxOvSlots; i++ {
+		if metaOvSlotUsed(m, i) {
+			t.Fatalf("ov slot %d unexpectedly used", i)
+		}
+		m = metaSetOvFP(m, i, uint8(0xA0+i))
+	}
+	for i := 0; i < maxOvSlots; i++ {
+		if !metaOvSlotUsed(m, i) || metaOvFP(m, i) != uint8(0xA0+i) {
+			t.Fatalf("ov slot %d: used=%v fp=%#x", i, metaOvSlotUsed(m, i), metaOvFP(m, i))
+		}
+	}
+	m = metaClearOvFP(m, 2)
+	if metaOvSlotUsed(m, 2) || metaOvFP(m, 2) != 0 {
+		t.Fatal("clear ov slot 2 not reflected")
+	}
+	// Overflow count saturates up and floors at zero.
+	if metaOvCount(m) != 0 {
+		t.Fatal("fresh ov count not zero")
+	}
+	m = metaAddOvCount(m, +1)
+	m = metaAddOvCount(m, +1)
+	if metaOvCount(m) != 2 {
+		t.Fatalf("ov count = %d, want 2", metaOvCount(m))
+	}
+	m = metaAddOvCount(m, -1)
+	m = metaAddOvCount(m, -1)
+	m = metaAddOvCount(m, -1)
+	if metaOvCount(m) != 0 {
+		t.Fatalf("ov count = %d, want floor 0", metaOvCount(m))
+	}
+	// Count and slot bits must not clobber the allocation bitmap.
+	if m&slotMask != 0 {
+		t.Fatal("overflow ops leaked into allocation bitmap")
+	}
+}
+
+func TestFingerprintWords(t *testing.T) {
+	var lo, hi uint64
+	for slot := 0; slot < slotsPerBucket; slot++ {
+		lo, hi = fpSet(lo, hi, slot, uint8(slot+1))
+	}
+	for slot := 0; slot < slotsPerBucket; slot++ {
+		if fpGet(lo, hi, slot) != uint8(slot+1) {
+			t.Fatalf("fp slot %d = %d", slot, fpGet(lo, hi, slot))
+		}
+	}
+	// Stash indexes live in the high byte of hi and must not collide with
+	// the slot-8..13 fingerprints.
+	for i := 0; i < maxOvSlots; i++ {
+		hi = ovIdxSet(hi, i, i%stashBuckets)
+	}
+	for i := 0; i < maxOvSlots; i++ {
+		if ovIdxGet(hi, i) != i%stashBuckets {
+			t.Fatalf("ov idx %d = %d", i, ovIdxGet(hi, i))
+		}
+	}
+	for slot := 8; slot < slotsPerBucket; slot++ {
+		if fpGet(lo, hi, slot) != uint8(slot+1) {
+			t.Fatalf("ov idx writes clobbered fp slot %d", slot)
+		}
+	}
+}

@@ -1,1 +1,28 @@
+// Package core implements the Dash extendible hash table for persistent
+// memory (Dash-EH, §4 of "Dash: Scalable Hashing on Persistent Memory",
+// VLDB 2020) as a stack of four layers, each in its own file with a narrow
+// interface onto the one below:
+//
+//	table.go     — public Insert/Get/Delete/Update API; optimistic lock-free
+//	               readers guarded by epoch.Manager, writers taking bucket
+//	               version locks; split orchestration and crash recovery.
+//	directory.go — extendible-hashing directory: global depth + 2^depth
+//	               segment pointers indexed by the hash's MSBs, doubled via
+//	               an atomic root-pointer flip.
+//	segment.go   — fixed arrays of 64 normal + 2 stash buckets; balanced
+//	               insert across a bucket pair, displacement into neighbors,
+//	               stash overflow with fingerprint tracking metadata.
+//	bucket.go    — 256-byte cacheline-aligned buckets of 14 records with
+//	               one-byte fingerprints probed before any key dereference,
+//	               a seqlock version word, and a bitmap commit point.
+//
+// Everything is addressed by pmem.Pool offsets, so the whole structure
+// survives pmem's simulated power loss (Pool.Crash) and reopens from the
+// durable media image via Open. The hash-bit contract shared by all layers
+// — fingerprint from the low byte, bucket index from the next bits,
+// directory index from the MSBs — lives in hashfn.Parts.
+//
+// The exported entry points are Create (format a pool), Open (recover a
+// crashed or cleanly closed image) and New (pool + table in one call), all
+// returning the public *Table.
 package core

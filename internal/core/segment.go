@@ -1,0 +1,314 @@
+package core
+
+import (
+	"dash/internal/hashfn"
+	"dash/internal/pmem"
+)
+
+// Segment layer (§4.2). A segment is a fixed array of 64 normal buckets
+// followed by 2 stash buckets, prefixed by one header cacheline holding the
+// segment's extendible-hashing state (local depth + pattern). Keys map to a
+// target bucket b and may also live in its neighbor b+1 (balanced insert),
+// migrate a neighbor's record one bucket over (displacement), or spill into
+// a stash bucket with tracking metadata left in the home bucket so that
+// negative lookups rarely touch the stash.
+const (
+	bucketBits    = 6
+	normalBuckets = 1 << bucketBits // 64
+	stashBuckets  = 2
+
+	totalBuckets = normalBuckets + stashBuckets
+
+	segHeaderSize = 64
+	segOffDepth   = 0
+	segOffPattern = 8
+
+	segmentSize = segHeaderSize + totalBuckets*bucketSize
+
+	slotsPerSegment = totalBuckets * slotsPerBucket
+)
+
+func segBucket(seg pmem.Addr, i int) pmem.Addr {
+	return seg.Add(uint64(segHeaderSize + i*bucketSize))
+}
+
+func segDepth(p *pmem.Pool, seg pmem.Addr) uint8 {
+	return uint8(p.LoadU64(seg.Add(segOffDepth)))
+}
+
+func segPattern(p *pmem.Pool, seg pmem.Addr) uint64 {
+	return p.LoadU64(seg.Add(segOffPattern))
+}
+
+// segSetMeta updates local depth and pattern and persists the header line.
+func segSetMeta(p *pmem.Pool, seg pmem.Addr, depth uint8, pattern uint64) {
+	p.StoreU64(seg.Add(segOffDepth), uint64(depth))
+	p.StoreU64(seg.Add(segOffPattern), pattern)
+	p.Persist(seg, segHeaderSize)
+}
+
+// segInit zeroes a freshly allocated segment and writes its header. The
+// caller persists the whole range once it is fully populated; until then the
+// segment is unpublished and invisible to every other goroutine.
+func segInit(p *pmem.Pool, seg pmem.Addr, depth uint8, pattern uint64) {
+	p.Zero(seg, segmentSize)
+	p.StoreU64(seg.Add(segOffDepth), uint64(depth))
+	p.StoreU64(seg.Add(segOffPattern), pattern)
+}
+
+func segPersist(p *pmem.Pool, seg pmem.Addr) {
+	p.Flush(seg, segmentSize)
+	p.Fence()
+}
+
+// lockPair acquires the two candidate buckets of a key in ascending index
+// order; with every writer following the same order (normal buckets
+// ascending, then stash buckets ascending, displacement targets only via
+// trylock) the lock graph is acyclic.
+func lockPair(p *pmem.Pool, seg pmem.Addr, b1, b2 int) {
+	if b2 < b1 {
+		b1, b2 = b2, b1
+	}
+	lockBucket(p, segBucket(seg, b1))
+	lockBucket(p, segBucket(seg, b2))
+}
+
+func unlockPair(p *pmem.Pool, seg pmem.Addr, b1, b2 int) {
+	unlockBucket(p, segBucket(seg, b1))
+	unlockBucket(p, segBucket(seg, b2))
+}
+
+// recLoc names a record inside a segment.
+type recLoc struct {
+	bucket  int // index into the segment's bucket array (≥ normalBuckets = stash)
+	slot    int
+	tracked int // stash hits: tracking slot in the home bucket, or -1
+}
+
+func (l recLoc) inStash() bool { return l.bucket >= normalBuckets }
+
+// segFindLocked locates key while the caller holds the home pair's locks.
+// Stash buckets are scanned without their locks: records of this home cannot
+// move (we hold the home lock, which every stash mutation of this home
+// takes), and records of other homes can never alias our key.
+func segFindLocked(p *pmem.Pool, seg pmem.Addr, parts hashfn.Parts, key uint64) (recLoc, bool) {
+	b := int(parts.BucketIndex(bucketBits))
+	b2 := (b + 1) % normalBuckets
+	if slot := bucketFindLocked(p, segBucket(seg, b), parts.FP, key); slot >= 0 {
+		return recLoc{bucket: b, slot: slot, tracked: -1}, true
+	}
+	if slot := bucketFindLocked(p, segBucket(seg, b2), parts.FP, key); slot >= 0 {
+		return recLoc{bucket: b2, slot: slot, tracked: -1}, true
+	}
+	ba := segBucket(seg, b)
+	m := p.LoadU64(ba.Add(bkOffMeta))
+	hi := p.QuietLoadU64(ba.Add(bkOffFPHi))
+	for i := 0; i < maxOvSlots; i++ {
+		if !metaOvSlotUsed(m, i) || metaOvFP(m, i) != parts.FP {
+			continue
+		}
+		j := ovIdxGet(hi, i)
+		if slot := bucketFindLocked(p, segBucket(seg, normalBuckets+j), parts.FP, key); slot >= 0 {
+			return recLoc{bucket: normalBuckets + j, slot: slot, tracked: i}, true
+		}
+	}
+	if metaOvCount(m) > 0 {
+		for j := 0; j < stashBuckets; j++ {
+			if slot := bucketFindLocked(p, segBucket(seg, normalBuckets+j), parts.FP, key); slot >= 0 {
+				return recLoc{bucket: normalBuckets + j, slot: slot, tracked: -1}, true
+			}
+		}
+	}
+	return recLoc{}, false
+}
+
+// segInsertLocked places a record, trying in order: the emptier of the two
+// candidate buckets (balanced insert), displacing a neighbor-owned record
+// one bucket over, then the stash. Returns false when the segment needs to
+// split. With concurrent=true the caller holds the home pair's locks and
+// this function takes the extra locks it needs (displacement target via
+// trylock to stay deadlock-free, stash buckets in ascending order);
+// concurrent=false is the single-owner path used on unpublished segments
+// during migration.
+func segInsertLocked(p *pmem.Pool, seg pmem.Addr, parts hashfn.Parts, kv pmem.KV, concurrent bool, seed uint64) bool {
+	b := int(parts.BucketIndex(bucketBits))
+	b2 := (b + 1) % normalBuckets
+	ba, b2a := segBucket(seg, b), segBucket(seg, b2)
+
+	// Balanced insert: prefer the bucket with more free slots, home on ties.
+	f1, f2 := bucketFreeSlots(p, ba), bucketFreeSlots(p, b2a)
+	if f1 >= f2 && f1 > 0 {
+		return bucketInsertLocked(p, ba, parts.FP, kv)
+	}
+	if f2 > 0 {
+		return bucketInsertLocked(p, b2a, parts.FP, kv)
+	}
+
+	// Displacement: make room in the probing bucket b2 by moving one of its
+	// *own* records (home == b2, i.e. not itself displaced) to b2's probing
+	// bucket b3. The moved key stays within its candidate pair, so readers
+	// still find it; the copy-then-delete order means a crash can at worst
+	// duplicate it, which recovery deduplicates.
+	b3 := (b2 + 1) % normalBuckets
+	b3a := segBucket(seg, b3)
+	if !concurrent || tryLockBucket(p, b3a) {
+		if bucketFreeSlots(p, b3a) > 0 {
+			m := p.LoadU64(b2a.Add(bkOffMeta))
+			for slot := 0; slot < slotsPerBucket; slot++ {
+				if !metaSlotUsed(m, slot) {
+					continue
+				}
+				vict := p.ReadKV(recordAddr(b2a, slot))
+				vp := hashfn.Split(hashfn.HashU64(vict.Key, seed))
+				if int(vp.BucketIndex(bucketBits)) != b2 {
+					continue
+				}
+				bucketInsertLocked(p, b3a, vp.FP, vict)
+				bucketDeleteLocked(p, b2a, slot)
+				if concurrent {
+					unlockBucket(p, b3a)
+				}
+				return bucketInsertLocked(p, b2a, parts.FP, kv)
+			}
+		}
+		if concurrent {
+			unlockBucket(p, b3a)
+		}
+	}
+
+	// Stash: record goes to any stash bucket with room; the home bucket
+	// (locked by us) learns about it via overflow metadata. Record first,
+	// metadata second: a crash in between leaves an unreachable ghost that
+	// recovery sweeps, never a dangling pointer.
+	for j := 0; j < stashBuckets; j++ {
+		sa := segBucket(seg, normalBuckets+j)
+		if concurrent {
+			lockBucket(p, sa)
+		}
+		ok := bucketInsertLocked(p, sa, parts.FP, kv)
+		if concurrent {
+			unlockBucket(p, sa)
+		}
+		if ok {
+			bucketTrackOverflow(p, ba, parts.FP, j)
+			return true
+		}
+	}
+	return false
+}
+
+// segDeleteAt removes the record at loc, fixing the home bucket's overflow
+// metadata when the record lived in the stash. Caller holds the home pair's
+// locks (or owns the whole segment).
+func segDeleteAt(p *pmem.Pool, seg pmem.Addr, parts hashfn.Parts, loc recLoc, concurrent bool) {
+	sa := segBucket(seg, loc.bucket)
+	if !loc.inStash() {
+		bucketDeleteLocked(p, sa, loc.slot)
+		return
+	}
+	if concurrent {
+		lockBucket(p, sa)
+	}
+	bucketDeleteLocked(p, sa, loc.slot)
+	if concurrent {
+		unlockBucket(p, sa)
+	}
+	home := segBucket(seg, int(parts.BucketIndex(bucketBits)))
+	bucketUntrackOverflow(p, home, loc.tracked)
+}
+
+// segSearchOpt is the lock-free read path: probe the candidate pair
+// fingerprint-first, then follow the home bucket's overflow metadata into
+// the stash. Each bucket scan is individually version-stable; cross-bucket
+// races are caught by the table layer's directory revalidation.
+func segSearchOpt(p *pmem.Pool, seg pmem.Addr, parts hashfn.Parts, key uint64) (uint64, bool) {
+	b := int(parts.BucketIndex(bucketBits))
+	b2 := (b + 1) % normalBuckets
+	val, found, m, hi := bucketSearchOpt(p, segBucket(seg, b), parts.FP, key)
+	if found {
+		return val, true
+	}
+	if v2, f2, _, _ := bucketSearchOpt(p, segBucket(seg, b2), parts.FP, key); f2 {
+		return v2, true
+	}
+	for i := 0; i < maxOvSlots; i++ {
+		if !metaOvSlotUsed(m, i) || metaOvFP(m, i) != parts.FP {
+			continue
+		}
+		j := ovIdxGet(hi, i)
+		if v, f, _, _ := bucketSearchOpt(p, segBucket(seg, normalBuckets+j), parts.FP, key); f {
+			return v, true
+		}
+	}
+	if metaOvCount(m) > 0 {
+		for j := 0; j < stashBuckets; j++ {
+			if v, f, _, _ := bucketSearchOpt(p, segBucket(seg, normalBuckets+j), parts.FP, key); f {
+				return v, true
+			}
+		}
+	}
+	return 0, false
+}
+
+// segMigrate copies every record whose split-deciding bit is 1 from src into
+// the unpublished segment dst (single-owner insert path). Returns false in
+// the pathological case that dst cannot absorb them.
+func segMigrate(p *pmem.Pool, src, dst pmem.Addr, depth uint8, seed uint64) bool {
+	for bi := 0; bi < totalBuckets; bi++ {
+		ba := segBucket(src, bi)
+		m := p.LoadU64(ba.Add(bkOffMeta))
+		for slot := 0; slot < slotsPerBucket; slot++ {
+			if !metaSlotUsed(m, slot) {
+				continue
+			}
+			kv := p.ReadKV(recordAddr(ba, slot))
+			parts := hashfn.Split(hashfn.HashU64(kv.Key, seed))
+			if !parts.DepthBit(depth) {
+				continue
+			}
+			if !segInsertLocked(p, dst, parts, kv, false, seed) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// segSweep deletes every record for which drop returns true, fixing stash
+// tracking metadata as it goes. The caller owns every bucket of the segment
+// (split cleanup holds all locks; recovery is single-threaded). Returns the
+// number of records removed.
+func segSweep(p *pmem.Pool, seg pmem.Addr, seed uint64, drop func(parts hashfn.Parts, kv pmem.KV) bool) int {
+	removed := 0
+	for bi := 0; bi < totalBuckets; bi++ {
+		ba := segBucket(seg, bi)
+		m := p.LoadU64(ba.Add(bkOffMeta))
+		for slot := 0; slot < slotsPerBucket; slot++ {
+			if !metaSlotUsed(m, slot) {
+				continue
+			}
+			kv := p.ReadKV(recordAddr(ba, slot))
+			parts := hashfn.Split(hashfn.HashU64(kv.Key, seed))
+			if !drop(parts, kv) {
+				continue
+			}
+			loc := recLoc{bucket: bi, slot: slot, tracked: -1}
+			if loc.inStash() {
+				home := segBucket(seg, int(parts.BucketIndex(bucketBits)))
+				loc.tracked = findTrackedSlot(p, home, parts.FP, bi-normalBuckets)
+			}
+			segDeleteAt(p, seg, parts, loc, false)
+			removed++
+		}
+	}
+	return removed
+}
+
+// segCount returns the number of live records (allocation bitmap popcount).
+func segCount(p *pmem.Pool, seg pmem.Addr) int {
+	n := 0
+	for bi := 0; bi < totalBuckets; bi++ {
+		n += slotsPerBucket - bucketFreeSlots(p, segBucket(seg, bi))
+	}
+	return n
+}

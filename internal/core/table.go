@@ -1,0 +1,598 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"dash/internal/epoch"
+	"dash/internal/hashfn"
+	"dash/internal/pmem"
+)
+
+// Table layer (§4.4–4.6): the public Insert/Get/Delete/Update API, the
+// locking protocol tying the layers together, segment-split orchestration
+// with a crash-consistent three-step publish, and post-crash recovery.
+//
+// Concurrency protocol:
+//   - Readers are optimistic and lock-free: resolve directory → segment,
+//     scan buckets under seqlock version validation, and revalidate the
+//     directory entry before concluding "not found". Every operation runs
+//     inside an epoch guard so a retired directory block is never recycled
+//     under a reader still traversing it.
+//   - Writers lock only the key's two candidate buckets (plus stash /
+//     displacement buckets, in a fixed deadlock-free order), then revalidate
+//     the directory entry and the segment's pattern before mutating.
+//   - Structural changes (segment split, directory doubling) serialize on
+//     one table-wide mutex and take every bucket lock of the splitting
+//     segment, excluding writers; readers are invalidated by the version
+//     bumps when the locks release.
+
+// Root block layout, at the first usable cacheline of the pool.
+const (
+	rootAddr = pmem.Addr(pmem.CachelineSize)
+
+	rootOffMagic    = 0
+	rootOffFormat   = 8
+	rootOffSeed     = 16
+	rootOffDir      = 24 // atomic: current directory block
+	rootOffAllocNxt = 32 // atomic: bump-allocator frontier
+
+	tableMagic  = 0x44617368454831 // "DashEH1"
+	tableFormat = 1
+	allocStart  = 256 // first allocatable offset; keeps blocks 256-aligned
+	allocAlign  = 256
+)
+
+var (
+	// ErrKeyExists is returned by Insert when the key is already present.
+	ErrKeyExists = errors.New("core: key already exists")
+	// ErrPoolFull is returned when the PM pool cannot fit a new allocation.
+	ErrPoolFull = errors.New("core: pmem pool exhausted")
+	// ErrNotATable is returned by Open when the pool holds no table image.
+	ErrNotATable = errors.New("core: pool does not contain a dash table")
+	// ErrSegmentOverflow reports the pathological case that a splitting
+	// segment's keys all land on one side and overflow the new half.
+	ErrSegmentOverflow = errors.New("core: segment overflow during split")
+)
+
+// Options configures Create.
+type Options struct {
+	// InitialDepth is the starting global depth (2^depth segments).
+	// Defaults to 1.
+	InitialDepth uint8
+	// Seed seeds the hash function. Defaults to hashfn.DefaultSeed.
+	Seed uint64
+}
+
+// Table is a Dash extendible hash table living in a pmem.Pool.
+type Table struct {
+	pool *pmem.Pool
+	em   *epoch.Manager
+	seed uint64
+
+	// splitMu serializes structural changes: segment splits and the
+	// directory doublings they trigger.
+	splitMu sync.Mutex
+
+	// DRAM free list of retired PM blocks (old directories), refilled via
+	// epoch reclamation and consumed by alloc.
+	freeMu   sync.Mutex
+	freeList []freeSpan
+
+	count atomic.Int64
+
+	// Test hooks fired inside split; used by crash-consistency tests to
+	// simulate power loss at the protocol's interesting points.
+	hookAfterSegPersist func()
+	hookMidPublish      func()
+	hookAfterPublish    func()
+}
+
+type freeSpan struct {
+	addr pmem.Addr
+	size uint64
+}
+
+// Create formats pool with an empty table and returns it.
+func Create(pool *pmem.Pool, opt Options) (*Table, error) {
+	if opt.Seed == 0 {
+		opt.Seed = hashfn.DefaultSeed
+	}
+	if opt.InitialDepth == 0 {
+		opt.InitialDepth = 1
+	}
+	p := pool
+	t := &Table{pool: p, em: epoch.NewManager(), seed: opt.Seed}
+
+	p.WriteU64(rootAddr.Add(rootOffMagic), 0) // not a table until fully formatted
+	p.WriteU64(rootAddr.Add(rootOffFormat), tableFormat)
+	p.WriteU64(rootAddr.Add(rootOffSeed), opt.Seed)
+	p.StoreU64(rootAddr.Add(rootOffAllocNxt), allocStart)
+	p.Persist(rootAddr, pmem.CachelineSize)
+
+	nseg := 1 << opt.InitialDepth
+	segs := make([]pmem.Addr, nseg)
+	for i := range segs {
+		seg, err := t.alloc(segmentSize)
+		if err != nil {
+			return nil, err
+		}
+		segInit(p, seg, opt.InitialDepth, uint64(i))
+		segPersist(p, seg)
+		segs[i] = seg
+	}
+	dir, err := t.alloc(dirSize(opt.InitialDepth))
+	if err != nil {
+		return nil, err
+	}
+	dirInitFresh(p, dir, opt.InitialDepth, segs)
+	p.StoreU64(rootAddr.Add(rootOffDir), uint64(dir))
+	// Magic last: its persist is the commit point of formatting.
+	p.WriteU64(rootAddr.Add(rootOffMagic), tableMagic)
+	p.Persist(rootAddr, pmem.CachelineSize)
+	return t, nil
+}
+
+// Open revives the table stored in pool — typically the media image left by
+// a crash — running recovery: directory/segment metadata reconciliation,
+// lock-word reset, and removal of the duplicate or ghost records an
+// interrupted split, displacement or stash insert may have left behind.
+func Open(pool *pmem.Pool) (*Table, error) {
+	p := pool
+	if p.ReadU64(rootAddr.Add(rootOffMagic)) != tableMagic {
+		return nil, ErrNotATable
+	}
+	if f := p.ReadU64(rootAddr.Add(rootOffFormat)); f != tableFormat {
+		return nil, fmt.Errorf("core: unsupported table format %d (want %d)", f, tableFormat)
+	}
+	t := &Table{
+		pool: p,
+		em:   epoch.NewManager(),
+		seed: p.ReadU64(rootAddr.Add(rootOffSeed)),
+	}
+	if err := t.recover(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// New is a convenience constructor: it builds a private pool of poolSize
+// bytes and formats a table in it.
+func New(poolSize uint64, opt Options) (*Table, error) {
+	pool, err := pmem.NewPool(pmem.Options{Size: poolSize})
+	if err != nil {
+		return nil, err
+	}
+	return Create(pool, opt)
+}
+
+// Pool returns the underlying persistent-memory pool.
+func (t *Table) Pool() *pmem.Pool { return t.pool }
+
+// Count returns the number of live records.
+func (t *Table) Count() int64 { return t.count.Load() }
+
+// GlobalDepth returns the directory's current global depth. Like every
+// directory traversal it runs under an epoch guard so a concurrently retired
+// directory block cannot be recycled mid-read.
+func (t *Table) GlobalDepth() uint8 {
+	g := t.em.Enter()
+	defer g.Exit()
+	return dirDepth(t.pool, pmem.Addr(t.pool.LoadU64(rootAddr.Add(rootOffDir))))
+}
+
+// Close drains the epoch manager. The pool remains usable and reopenable.
+func (t *Table) Close() { t.em.Drain() }
+
+// alloc carves size bytes (256-aligned) out of the pool, reusing retired
+// blocks when one fits. The bump frontier is persisted immediately after the
+// CAS: a crash can at worst leak a block that was never published, never
+// hand out the same published block twice.
+func (t *Table) alloc(size uint64) (pmem.Addr, error) {
+	size = (size + allocAlign - 1) &^ (allocAlign - 1)
+	t.freeMu.Lock()
+	for i, s := range t.freeList {
+		if s.size >= size {
+			t.freeList = append(t.freeList[:i], t.freeList[i+1:]...)
+			t.freeMu.Unlock()
+			return s.addr, nil
+		}
+	}
+	t.freeMu.Unlock()
+	na := rootAddr.Add(rootOffAllocNxt)
+	for {
+		cur := t.pool.LoadU64(na)
+		next := cur + size
+		if next > t.pool.Size() {
+			return 0, ErrPoolFull
+		}
+		if t.pool.CompareAndSwapU64(na, cur, next) {
+			t.pool.Persist(na, 8)
+			return pmem.Addr(cur), nil
+		}
+	}
+}
+
+func (t *Table) freePush(a pmem.Addr, size uint64) {
+	t.freeMu.Lock()
+	t.freeList = append(t.freeList, freeSpan{addr: a, size: size})
+	t.freeMu.Unlock()
+}
+
+func (t *Table) parts(key uint64) hashfn.Parts {
+	return hashfn.Split(hashfn.HashU64(key, t.seed))
+}
+
+// resolve walks directory → segment for a key under the current global
+// depth. Both loads are atomic; a torn view across a concurrent split is
+// caught by validate or by the segment-pattern check.
+func (t *Table) resolve(parts hashfn.Parts) (dir, seg pmem.Addr) {
+	dir = pmem.Addr(t.pool.LoadU64(rootAddr.Add(rootOffDir)))
+	g := dirDepth(t.pool, dir)
+	seg = dirLoadEntry(t.pool, dir, parts.DirIndex(g))
+	return dir, seg
+}
+
+// validate re-resolves the key and checks that (a) the directory still routes
+// it to seg and (b) seg's own pattern claims the key. Writers call it after
+// taking bucket locks; readers call it before trusting a negative search.
+func (t *Table) validate(parts hashfn.Parts, dir, seg pmem.Addr) bool {
+	dir2, seg2 := t.resolve(parts)
+	if dir2 != dir || seg2 != seg {
+		return false
+	}
+	l := segDepth(t.pool, seg)
+	return hashfn.SegmentIndex(parts.Hash, l) == segPattern(t.pool, seg)
+}
+
+// Insert adds key → value. It fails with ErrKeyExists if the key is present
+// and ErrPoolFull if the pool cannot grow the table any further.
+func (t *Table) Insert(key, value uint64) error {
+	g := t.em.Enter()
+	defer g.Exit()
+	p := t.pool
+	parts := t.parts(key)
+	b := int(parts.BucketIndex(bucketBits))
+	b2 := (b + 1) % normalBuckets
+	for {
+		dir, seg := t.resolve(parts)
+		lockPair(p, seg, b, b2)
+		if !t.validate(parts, dir, seg) {
+			unlockPair(p, seg, b, b2)
+			continue
+		}
+		if _, found := segFindLocked(p, seg, parts, key); found {
+			unlockPair(p, seg, b, b2)
+			return ErrKeyExists
+		}
+		if segInsertLocked(p, seg, parts, pmem.KV{Key: key, Value: value}, true, t.seed) {
+			unlockPair(p, seg, b, b2)
+			t.count.Add(1)
+			return nil
+		}
+		unlockPair(p, seg, b, b2)
+		if err := t.split(parts, seg); err != nil {
+			return err
+		}
+	}
+}
+
+// Get returns the value stored under key. Lock-free: a found record under a
+// stable bucket version is immediately valid (segments are never reclaimed),
+// while a miss is trusted only after the directory revalidates.
+func (t *Table) Get(key uint64) (uint64, bool) {
+	g := t.em.Enter()
+	defer g.Exit()
+	p := t.pool
+	parts := t.parts(key)
+	for {
+		dir, seg := t.resolve(parts)
+		l := segDepth(p, seg)
+		if hashfn.SegmentIndex(parts.Hash, l) != segPattern(p, seg) {
+			runtime.Gosched() // torn view mid-split; retry
+			continue
+		}
+		if val, found := segSearchOpt(p, seg, parts, key); found {
+			return val, true
+		}
+		if t.validate(parts, dir, seg) {
+			return 0, false
+		}
+	}
+}
+
+// Delete removes key, reporting whether it was present.
+func (t *Table) Delete(key uint64) bool {
+	g := t.em.Enter()
+	defer g.Exit()
+	p := t.pool
+	parts := t.parts(key)
+	b := int(parts.BucketIndex(bucketBits))
+	b2 := (b + 1) % normalBuckets
+	for {
+		dir, seg := t.resolve(parts)
+		lockPair(p, seg, b, b2)
+		if !t.validate(parts, dir, seg) {
+			unlockPair(p, seg, b, b2)
+			continue
+		}
+		loc, found := segFindLocked(p, seg, parts, key)
+		if found {
+			segDeleteAt(p, seg, parts, loc, true)
+			t.count.Add(-1)
+		}
+		unlockPair(p, seg, b, b2)
+		return found
+	}
+}
+
+// Update overwrites the value of an existing key in place, reporting whether
+// the key was present. The value word is a single atomic persisted store.
+func (t *Table) Update(key, value uint64) bool {
+	g := t.em.Enter()
+	defer g.Exit()
+	p := t.pool
+	parts := t.parts(key)
+	b := int(parts.BucketIndex(bucketBits))
+	b2 := (b + 1) % normalBuckets
+	for {
+		dir, seg := t.resolve(parts)
+		lockPair(p, seg, b, b2)
+		if !t.validate(parts, dir, seg) {
+			unlockPair(p, seg, b, b2)
+			continue
+		}
+		loc, found := segFindLocked(p, seg, parts, key)
+		if found {
+			ra := recordAddr(segBucket(seg, loc.bucket), loc.slot)
+			p.WriteValue(ra, value)
+			p.Persist(ra.Add(8), 8)
+		}
+		unlockPair(p, seg, b, b2)
+		return found
+	}
+}
+
+// split replaces oldSeg by two segments of local depth+1, doubling the
+// directory first when needed. The publish is the paper's crash-consistent
+// three-step sequence: (1) allocate and fully persist the new segment
+// (records copied, old copies still in place), (2) flip the upper half of
+// the old segment's directory range to the new segment and persist, (3) only
+// then bump the old segment's depth/pattern and sweep out the moved records.
+// A crash before (2) leaks an unpublished block; a crash inside (2) or (3)
+// leaves duplicates and stale metadata that Open's recovery reconciles from
+// the directory image.
+func (t *Table) split(parts hashfn.Parts, oldSeg pmem.Addr) error {
+	t.splitMu.Lock()
+	defer t.splitMu.Unlock()
+	p := t.pool
+
+	dir, seg := t.resolve(parts)
+	if seg != oldSeg {
+		return nil // another split already covered this key range
+	}
+	for i := 0; i < totalBuckets; i++ {
+		lockBucket(p, segBucket(oldSeg, i))
+	}
+	defer func() {
+		for i := 0; i < totalBuckets; i++ {
+			unlockBucket(p, segBucket(oldSeg, i))
+		}
+	}()
+
+	l := segDepth(p, oldSeg)
+	pat := segPattern(p, oldSeg)
+	g := dirDepth(p, dir)
+
+	if l == g {
+		newDir, err := t.alloc(dirSize(g + 1))
+		if err != nil {
+			return err
+		}
+		dirInitDoubled(p, newDir, dir)
+		p.StoreU64(rootAddr.Add(rootOffDir), uint64(newDir))
+		p.Persist(rootAddr.Add(rootOffDir), 8)
+		old, oldSize := dir, dirSize(g)
+		t.em.Retire(func() { t.freePush(old, oldSize) })
+		dir = newDir
+		g++
+	}
+
+	newSeg, err := t.alloc(segmentSize)
+	if err != nil {
+		return err
+	}
+	segInit(p, newSeg, l+1, pat<<1|1)
+	if !segMigrate(p, oldSeg, newSeg, l, t.seed) {
+		return ErrSegmentOverflow
+	}
+	segPersist(p, newSeg)
+	if t.hookAfterSegPersist != nil {
+		t.hookAfterSegPersist()
+	}
+
+	start, span := dirCoverage(g, l, pat)
+	half := span >> 1
+	for i := start + half; i < start+span; i++ {
+		dirStoreEntry(p, dir, i, newSeg)
+		p.Persist(dirEntryAddr(dir, i), 8)
+		if t.hookMidPublish != nil && i == start+half {
+			t.hookMidPublish()
+		}
+	}
+	if t.hookAfterPublish != nil {
+		t.hookAfterPublish()
+	}
+
+	segSetMeta(p, oldSeg, l+1, pat<<1)
+	segSweep(p, oldSeg, t.seed, func(rp hashfn.Parts, _ pmem.KV) bool {
+		return rp.DepthBit(l)
+	})
+	return nil
+}
+
+// recover reconciles the table image after a crash. The directory is the
+// source of truth: every segment's true coverage — and from it, its local
+// depth and pattern — is re-derived by letting deeper segments claim their
+// canonical entry ranges first. This completes a partially published split
+// (the new segment was fully durable before the first entry flip) and rolls
+// an unpublished one back to a harmless leak. Afterwards, version locks are
+// reset and records that an interrupted split, displacement or stash insert
+// left duplicated, misrouted or unreachable are swept out.
+func (t *Table) recover() error {
+	p := t.pool
+	dir := pmem.Addr(p.ReadU64(rootAddr.Add(rootOffDir)))
+	if dir.IsNull() {
+		return ErrNotATable
+	}
+	g := dirDepth(p, dir)
+	n := uint64(1) << g
+
+	type segInfo struct {
+		addr pmem.Addr
+		l    uint8
+		pat  uint64
+	}
+	entries := make([]pmem.Addr, n)
+	var segs []segInfo
+	seen := make(map[pmem.Addr]bool)
+	for i := uint64(0); i < n; i++ {
+		e := dirLoadEntry(p, dir, i)
+		entries[i] = e
+		if e.IsNull() {
+			return fmt.Errorf("core: recovery: null directory entry %d", i)
+		}
+		if !seen[e] {
+			seen[e] = true
+			l, pat := segDepth(p, e), segPattern(p, e)
+			if l > g {
+				return fmt.Errorf("core: recovery: segment %#x deeper (%d) than directory (%d)", e, l, g)
+			}
+			segs = append(segs, segInfo{addr: e, l: l, pat: pat})
+		}
+	}
+
+	// Deepest-first claiming: a new segment (depth L+1) takes its canonical
+	// half before the stale old segment (still claiming depth L) takes the
+	// remainder, which completes any half-flipped publish.
+	sort.SliceStable(segs, func(i, j int) bool { return segs[i].l > segs[j].l })
+	fixed := make([]pmem.Addr, n)
+	for _, s := range segs {
+		start, span := dirCoverage(g, s.l, s.pat)
+		for i := start; i < start+span; i++ {
+			if fixed[i].IsNull() {
+				fixed[i] = s.addr
+			}
+		}
+	}
+	changed := false
+	for i := uint64(0); i < n; i++ {
+		if fixed[i].IsNull() {
+			return fmt.Errorf("core: recovery: directory entry %d unclaimed", i)
+		}
+		if fixed[i] != entries[i] {
+			dirStoreEntry(p, dir, i, fixed[i])
+			changed = true
+		}
+	}
+	if changed {
+		p.Persist(dirEntryAddr(dir, 0), 8*n)
+	}
+
+	// Re-derive each segment's (depth, pattern) from its actual coverage and
+	// reset every bucket's version lock. Coverage ranges are contiguous by
+	// construction, so one pass over fixed collects first/count for every
+	// segment.
+	type cover struct{ first, count uint64 }
+	covers := make(map[pmem.Addr]*cover, len(segs))
+	for i := uint64(0); i < n; i++ {
+		if c := covers[fixed[i]]; c != nil {
+			c.count++
+		} else {
+			covers[fixed[i]] = &cover{first: i, count: 1}
+		}
+	}
+	for _, s := range segs {
+		first, count := uint64(0), uint64(0)
+		if c := covers[s.addr]; c != nil {
+			first, count = c.first, c.count
+		}
+		if count == 0 || count&(count-1) != 0 {
+			return fmt.Errorf("core: recovery: segment %#x covers %d entries", s.addr, count)
+		}
+		l := g - uint8(bits.TrailingZeros64(count))
+		pat := first >> (g - l)
+		if l != s.l || pat != s.pat {
+			segSetMeta(p, s.addr, l, pat)
+		}
+		for i := 0; i < totalBuckets; i++ {
+			p.StoreU64(segBucket(s.addr, i).Add(bkOffVersion), 0)
+		}
+	}
+
+	// Record sweeps, per segment:
+	//  1. drop records the directory now routes elsewhere (interrupted split
+	//     cleanup left them behind; the routed-to segment has the copy),
+	//  2. deduplicate keys within the segment (interrupted displacement
+	//     copies a record before deleting the original),
+	//  3. drop stash ghosts no home bucket knows about (crash between stash
+	//     record persist and home-metadata persist).
+	total := int64(0)
+	for _, s := range segs {
+		seg := s.addr
+		segSweep(p, seg, t.seed, func(rp hashfn.Parts, _ pmem.KV) bool {
+			return fixed[rp.DirIndex(g)] != seg
+		})
+		t.dedupeSegment(seg)
+		t.sweepStashGhosts(seg)
+		total += int64(segCount(p, seg))
+	}
+	t.count.Store(total)
+	return nil
+}
+
+// dedupeSegment removes all but the first copy of any key appearing twice in
+// the segment. segSweep's scan order matches lookup order (normal buckets
+// ascending, then stash), so the surviving copy is the one lookups would
+// return.
+func (t *Table) dedupeSegment(seg pmem.Addr) {
+	seenKeys := make(map[uint64]bool)
+	segSweep(t.pool, seg, t.seed, func(_ hashfn.Parts, kv pmem.KV) bool {
+		if seenKeys[kv.Key] {
+			return true
+		}
+		seenKeys[kv.Key] = true
+		return false
+	})
+}
+
+// sweepStashGhosts deletes stash records that no home bucket references:
+// neither a tracking slot nor a positive overflow count points at them, so
+// no lookup can ever see them and the slot would leak forever.
+func (t *Table) sweepStashGhosts(seg pmem.Addr) {
+	p := t.pool
+	for j := 0; j < stashBuckets; j++ {
+		sa := segBucket(seg, normalBuckets+j)
+		m := p.LoadU64(sa.Add(bkOffMeta))
+		for slot := 0; slot < slotsPerBucket; slot++ {
+			if !metaSlotUsed(m, slot) {
+				continue
+			}
+			key := p.ReadKey(recordAddr(sa, slot))
+			parts := t.parts(key)
+			home := segBucket(seg, int(parts.BucketIndex(bucketBits)))
+			if findTrackedSlot(p, home, parts.FP, j) >= 0 {
+				continue
+			}
+			if metaOvCount(p.QuietLoadU64(home.Add(bkOffMeta))) > 0 {
+				continue
+			}
+			bucketDeleteLocked(p, sa, slot)
+		}
+	}
+}

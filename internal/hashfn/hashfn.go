@@ -62,7 +62,10 @@ func Hash64(data []byte, seed uint64) uint64 {
 
 // HashU64 is the fixed-length fast path: MurmurHash64A of the 8 bytes of x.
 func HashU64(x, seed uint64) uint64 {
-	h := seed ^ 8*murmurM
+	// 8*murmurM truncated to 64 bits; as an untyped constant expression it
+	// would overflow uint64 and fail to compile.
+	const lenMix = (8 * murmurM) & (1<<64 - 1)
+	h := seed ^ lenMix
 	k := x
 	k *= murmurM
 	k ^= k >> murmurR
@@ -86,4 +89,47 @@ func SegmentIndex(h uint64, depth uint8) uint64 {
 		return 0
 	}
 	return h >> (64 - uint(depth))
+}
+
+// Parts is the agreed split of one 64-bit hash value among the layers of the
+// Dash-EH engine. Every layer derives its bits through Parts so the bit
+// allocation lives in exactly one place:
+//
+//	bit 63 ............................ bit 8  bit 7 ... bit 0
+//	[ directory index (top `depth` bits) ]     [ fingerprint ]
+//	          [ bucket index: bits 8..8+bucketBits ]
+//
+// The fingerprint comes from the least-significant byte, the bucket index
+// from the bits just above it, and the directory index from the
+// most-significant bits (the paper's MSB scheme, §4.7, which keeps the
+// directory entries covering one segment contiguous — the property the
+// crash-consistent split publish relies on). Directory and bucket bits
+// overlap only when depth+bucketBits > 56, far beyond any realistic table.
+type Parts struct {
+	// Hash is the full 64-bit hash value.
+	Hash uint64
+	// FP is the one-byte fingerprint probed before any key comparison.
+	FP uint8
+}
+
+// Split decomposes a hash value into its Parts.
+func Split(h uint64) Parts { return Parts{Hash: h, FP: Fingerprint(h)} }
+
+// BucketIndex returns the in-segment bucket index for a segment with
+// 2^bucketBits normal buckets, taken from the bits directly above the
+// fingerprint byte.
+func (p Parts) BucketIndex(bucketBits uint) uint64 {
+	return (p.Hash >> 8) & ((1 << bucketBits) - 1)
+}
+
+// DirIndex returns the directory index under the given global depth.
+func (p Parts) DirIndex(depth uint8) uint64 { return SegmentIndex(p.Hash, depth) }
+
+// DepthBit reports the value of the hash bit that decides which side of a
+// split a key lands on when a segment of local depth `depth` splits: bit
+// `depth` counted from the most-significant end. Keys with DepthBit false
+// stay in the old segment (pattern P<<1), keys with DepthBit true move to
+// the new segment (pattern P<<1|1).
+func (p Parts) DepthBit(depth uint8) bool {
+	return (p.Hash>>(63-uint(depth)))&1 == 1
 }

@@ -7,6 +7,14 @@ import "sync/atomic"
 // the cost model. Data-structure code should touch the arena only through
 // them (or through Bytes paired with explicit TouchRead/TouchWrite) so that
 // the experiment counters mean something.
+//
+// Write accessors perform the store BEFORE accounting: marking a line dirty
+// ahead of the store would open a window where a concurrent Flush of the
+// same line copies the old bytes, clears the dirty flag, and the store then
+// lands unmarked — Crash would silently keep an unflushed store. With the
+// store-first order a concurrent flush can at worst persist the new value
+// early, which is exactly what real hardware does when a neighboring flush
+// catches a fresh store to the same line.
 
 func (p *Pool) onRead(a Addr, n uint64) {
 	lines := lineSpan(a, n)
@@ -39,7 +47,8 @@ func lineSpan(a Addr, n uint64) uint64 {
 func (p *Pool) TouchRead(a Addr, n uint64) { p.check(a, n); p.onRead(a, n) }
 
 // TouchWrite accounts a PM write of [a, a+n) performed through a raw Bytes
-// view. It also marks the lines dirty for crash tracking.
+// view. It also marks the lines dirty for crash tracking; call it after the
+// stores, not before (see the ordering note above).
 func (p *Pool) TouchWrite(a Addr, n uint64) { p.check(a, n); p.onWrite(a, n) }
 
 // ReadU64 loads a little-endian-independent native uint64 at a (8-aligned).
@@ -54,8 +63,8 @@ func (p *Pool) ReadU64(a Addr) uint64 {
 // on; the simulation preserves that by using a single native store.
 func (p *Pool) WriteU64(a Addr, v uint64) {
 	p.check(a, 8)
-	p.onWrite(a, 8)
 	*(*uint64)(p.base(a)) = v
+	p.onWrite(a, 8)
 }
 
 // ReadU32 loads a uint32 at a (4-aligned).
@@ -68,8 +77,8 @@ func (p *Pool) ReadU32(a Addr) uint32 {
 // WriteU32 stores v at a (4-aligned).
 func (p *Pool) WriteU32(a Addr, v uint32) {
 	p.check(a, 4)
-	p.onWrite(a, 4)
 	*(*uint32)(p.base(a)) = v
+	p.onWrite(a, 4)
 }
 
 // ReadU8 loads one byte at a.
@@ -82,8 +91,8 @@ func (p *Pool) ReadU8(a Addr) uint8 {
 // WriteU8 stores one byte at a.
 func (p *Pool) WriteU8(a Addr, v uint8) {
 	p.check(a, 1)
-	p.onWrite(a, 1)
 	p.data[a] = v
+	p.onWrite(a, 1)
 }
 
 // Atomic operations. These are both synchronization (for the simulated
@@ -99,22 +108,24 @@ func (p *Pool) LoadU64(a Addr) uint64 {
 // StoreU64 atomically stores v at a.
 func (p *Pool) StoreU64(a Addr, v uint64) {
 	p.check(a, 8)
-	p.onWrite(a, 8)
 	atomic.StoreUint64((*uint64)(p.base(a)), v)
+	p.onWrite(a, 8)
 }
 
 // CompareAndSwapU64 executes a CAS on the uint64 at a.
 func (p *Pool) CompareAndSwapU64(a Addr, old, new uint64) bool {
 	p.check(a, 8)
+	ok := atomic.CompareAndSwapUint64((*uint64)(p.base(a)), old, new)
 	p.onWrite(a, 8)
-	return atomic.CompareAndSwapUint64((*uint64)(p.base(a)), old, new)
+	return ok
 }
 
 // AddU64 atomically adds delta to the uint64 at a and returns the new value.
 func (p *Pool) AddU64(a Addr, delta uint64) uint64 {
 	p.check(a, 8)
+	v := atomic.AddUint64((*uint64)(p.base(a)), delta)
 	p.onWrite(a, 8)
-	return atomic.AddUint64((*uint64)(p.base(a)), delta)
+	return v
 }
 
 // LoadU32 atomically loads the uint32 at a.
@@ -127,15 +138,16 @@ func (p *Pool) LoadU32(a Addr) uint32 {
 // StoreU32 atomically stores v at a.
 func (p *Pool) StoreU32(a Addr, v uint32) {
 	p.check(a, 4)
-	p.onWrite(a, 4)
 	atomic.StoreUint32((*uint32)(p.base(a)), v)
+	p.onWrite(a, 4)
 }
 
 // CompareAndSwapU32 executes a CAS on the uint32 at a.
 func (p *Pool) CompareAndSwapU32(a Addr, old, new uint32) bool {
 	p.check(a, 4)
+	ok := atomic.CompareAndSwapUint32((*uint32)(p.base(a)), old, new)
 	p.onWrite(a, 4)
-	return atomic.CompareAndSwapUint32((*uint32)(p.base(a)), old, new)
+	return ok
 }
 
 // Copy copies n bytes from src to dst within the pool, accounting one read
@@ -143,17 +155,17 @@ func (p *Pool) CompareAndSwapU32(a Addr, old, new uint32) bool {
 func (p *Pool) Copy(dst, src Addr, n uint64) {
 	p.check(dst, n)
 	p.check(src, n)
+	copy(p.data[dst:uint64(dst)+n], p.data[src:uint64(src)+n])
 	p.onRead(src, n)
 	p.onWrite(dst, n)
-	copy(p.data[dst:uint64(dst)+n], p.data[src:uint64(src)+n])
 }
 
 // WriteBytes copies b into the pool at a.
 func (p *Pool) WriteBytes(a Addr, b []byte) {
 	n := uint64(len(b))
 	p.check(a, n)
-	p.onWrite(a, n)
 	copy(p.data[a:uint64(a)+n], b)
+	p.onWrite(a, n)
 }
 
 // ReadBytes copies n bytes at a out of the pool.
@@ -168,9 +180,9 @@ func (p *Pool) ReadBytes(a Addr, n uint64) []byte {
 // Zero clears [a, a+n).
 func (p *Pool) Zero(a Addr, n uint64) {
 	p.check(a, n)
-	p.onWrite(a, n)
 	b := p.data[a : uint64(a)+n]
 	for i := range b {
 		b[i] = 0
 	}
+	p.onWrite(a, n)
 }

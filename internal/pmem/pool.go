@@ -21,6 +21,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"unsafe"
 )
 
@@ -52,7 +53,7 @@ func (a Addr) Add(n uint64) Addr { return a + Addr(n) }
 // atomic accessors provide the usual synchronization. Crash tracking adds
 // internal locking and is intended for (mostly) single-threaded crash tests.
 type Pool struct {
-	data  []byte  // the arena; base is 8-byte aligned
+	data  []byte   // the arena; base is 8-byte aligned
 	words []uint64 // keeps the backing array alive and aligned
 
 	size uint64
@@ -67,7 +68,7 @@ type Pool struct {
 
 type crashTracker struct {
 	mu    sync.Mutex
-	media []byte // durable image; receives lines on Flush
+	media []byte              // durable image; receives lines on Flush
 	dirty map[uint64]struct{} // cacheline indexes written since last flush
 }
 
@@ -183,10 +184,24 @@ func (p *Pool) Flush(a Addr, n uint64) {
 		p.crash.mu.Lock()
 		for l := first; l <= last; l++ {
 			off := l * CachelineSize
-			copy(p.crash.media[off:off+CachelineSize], p.data[off:off+CachelineSize])
+			p.copyLineToMedia(off)
 			delete(p.crash.dirty, l)
 		}
 		p.crash.mu.Unlock()
+	}
+}
+
+// copyLineToMedia copies one cacheline from the arena into the media image
+// using atomic word loads: another goroutine may be storing words of the
+// same line concurrently (e.g. a bucket lock CAS while a neighbor's record
+// in the same line is flushed), and like real CLWB the copy must snapshot
+// each word atomically rather than race on it. The caller holds crash.mu.
+func (p *Pool) copyLineToMedia(off uint64) {
+	for i := uint64(0); i < CachelineSize; i += 8 {
+		v := atomic.LoadUint64((*uint64)(unsafe.Pointer(&p.data[off+i])))
+		// media comes from make([]byte, n) with n a multiple of 64, so it is
+		// 8-aligned; store native-endian to stay byte-identical to the arena.
+		*(*uint64)(unsafe.Pointer(&p.crash.media[off+i])) = v
 	}
 }
 

@@ -9,7 +9,9 @@ import "sync/atomic"
 // mirroring how the CPU cache absorbs repeated accesses to a hot line.
 //
 // Quiet writes still participate in crash tracking — a store is a store,
-// whatever it costs — so crash tests remain sound.
+// whatever it costs — so crash tests remain sound. As in access.go, the
+// store happens before the dirty-marking so a concurrent flush of the line
+// can never clear the mark ahead of the store landing.
 
 // QuietReadU64 loads the uint64 at a without accounting.
 func (p *Pool) QuietReadU64(a Addr) uint64 {
@@ -20,8 +22,8 @@ func (p *Pool) QuietReadU64(a Addr) uint64 {
 // QuietWriteU64 stores v at a, tracked for crashes but not charged.
 func (p *Pool) QuietWriteU64(a Addr, v uint64) {
 	p.check(a, 8)
-	p.markDirty(a, 8)
 	*(*uint64)(p.base(a)) = v
+	p.markDirty(a, 8)
 }
 
 // QuietReadU32 loads the uint32 at a without accounting.
@@ -33,8 +35,8 @@ func (p *Pool) QuietReadU32(a Addr) uint32 {
 // QuietWriteU32 stores v at a, tracked for crashes but not charged.
 func (p *Pool) QuietWriteU32(a Addr, v uint32) {
 	p.check(a, 4)
-	p.markDirty(a, 4)
 	*(*uint32)(p.base(a)) = v
+	p.markDirty(a, 4)
 }
 
 // QuietReadU8 loads the byte at a without accounting.
@@ -46,8 +48,8 @@ func (p *Pool) QuietReadU8(a Addr) uint8 {
 // QuietWriteU8 stores v at a, tracked for crashes but not charged.
 func (p *Pool) QuietWriteU8(a Addr, v uint8) {
 	p.check(a, 1)
-	p.markDirty(a, 1)
 	p.data[a] = v
+	p.markDirty(a, 1)
 }
 
 // QuietLoadU32 atomically loads the uint32 at a without accounting. Used to
@@ -66,22 +68,23 @@ func (p *Pool) QuietLoadU64(a Addr) uint64 {
 // QuietStoreU32 atomically stores v at a, tracked but not charged.
 func (p *Pool) QuietStoreU32(a Addr, v uint32) {
 	p.check(a, 4)
-	p.markDirty(a, 4)
 	atomic.StoreUint32((*uint32)(p.base(a)), v)
+	p.markDirty(a, 4)
 }
 
 // QuietStoreU64 atomically stores v at a, tracked but not charged.
 func (p *Pool) QuietStoreU64(a Addr, v uint64) {
 	p.check(a, 8)
-	p.markDirty(a, 8)
 	atomic.StoreUint64((*uint64)(p.base(a)), v)
+	p.markDirty(a, 8)
 }
 
 // QuietCompareAndSwapU32 CASes the uint32 at a, tracked but not charged.
 func (p *Pool) QuietCompareAndSwapU32(a Addr, old, new uint32) bool {
 	p.check(a, 4)
+	ok := atomic.CompareAndSwapUint32((*uint32)(p.base(a)), old, new)
 	p.markDirty(a, 4)
-	return atomic.CompareAndSwapUint32((*uint32)(p.base(a)), old, new)
+	return ok
 }
 
 // QuietBytes returns a view of [a, a+n) without accounting, for callers that

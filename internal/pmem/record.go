@@ -1,0 +1,49 @@
+package pmem
+
+// Typed record helpers for fixed-size key/value pairs, the unit the Dash-EH
+// bucket layer stores. A record is two native uint64 words; all accesses go
+// through the atomic accessors so that optimistic lock-free readers racing a
+// locked writer stay within the Go memory model (and clean under -race).
+
+// RecordSize is the on-PM footprint of one KV record.
+const RecordSize = 16
+
+// KV is one fixed-size record: an 8-byte key and an 8-byte value.
+type KV struct {
+	Key   uint64
+	Value uint64
+}
+
+// ReadKV atomically loads the record at a (8-aligned). The two word loads
+// are individually atomic, not jointly; callers that need a consistent pair
+// guard the read with a version check, as the bucket layer does.
+func (p *Pool) ReadKV(a Addr) KV {
+	return KV{Key: p.LoadU64(a), Value: p.LoadU64(a.Add(8))}
+}
+
+// WriteKV atomically stores the record at a (8-aligned). Value goes first so
+// that a torn observation under a stale version never pairs the new key with
+// the old value; visibility is in any case gated on the bucket's allocation
+// bitmap, which is published only after the record is durable.
+func (p *Pool) WriteKV(a Addr, kv KV) {
+	p.StoreU64(a.Add(8), kv.Value)
+	p.StoreU64(a, kv.Key)
+}
+
+// PersistKV flushes and fences the record at a.
+func (p *Pool) PersistKV(a Addr) { p.Persist(a, RecordSize) }
+
+// ReadKey atomically loads just the key word of the record at a.
+func (p *Pool) ReadKey(a Addr) uint64 { return p.LoadU64(a) }
+
+// ReadValue atomically loads just the value word of the record at a.
+func (p *Pool) ReadValue(a Addr) uint64 { return p.LoadU64(a.Add(8)) }
+
+// WriteValue atomically stores just the value word of the record at a, the
+// in-place Update fast path.
+func (p *Pool) WriteValue(a Addr, v uint64) { p.StoreU64(a.Add(8), v) }
+
+// AlignUp rounds a up to the next multiple of align (a power of two).
+func AlignUp(a Addr, align uint64) Addr {
+	return Addr((uint64(a) + align - 1) &^ (align - 1))
+}
