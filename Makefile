@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet build test race ci fmt-check
+.PHONY: all vet build test race ci fmt-check bench bench-smoke
 
 all: ci
 
@@ -21,6 +21,21 @@ fmt-check:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
-# ci is the gate every change must pass: vet, build, and the full test
-# suite under the race detector (the concurrency tests rely on it).
-ci: fmt-check vet build race
+# bench-smoke is a seconds-long fixed configuration proving the whole
+# dashbench pipeline (workload → harness → CLI → JSON) end to end; the cost
+# model is off (-scale 0) so it measures nothing, it only has to run.
+bench-smoke:
+	$(GO) run ./cmd/dashbench -only -mix balanced,read -threads 2 \
+		-ops 8000 -warmup 800 -keyspace 8192 -scale 0 \
+		-out $${TMPDIR:-/tmp}/BENCH_smoke.json
+
+# bench is the real measurement matrix (core mix suite × 1..8 threads under
+# the full Optane cost model) and writes the trajectory file BENCH_pr2.json.
+bench:
+	$(GO) run ./cmd/dashbench -threads 8 -ops 100000 -keyspace 100000 \
+		-out BENCH_pr2.json
+
+# ci is the gate every change must pass: vet, build, the full test suite
+# under the race detector (the concurrency tests rely on it), and the
+# benchmark pipeline smoke.
+ci: fmt-check vet build race bench-smoke

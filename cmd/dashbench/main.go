@@ -1,0 +1,241 @@
+// Command dashbench drives the Dash-EH engine through a matrix of concurrent
+// workloads and reports throughput, latency quantiles, simulated-PM traffic
+// per operation and final table shape — the repo's counterpart to the
+// paper's Fig. 6–9 experiments.
+//
+// The benchmark runs every cell of (mix × thread ladder): the thread ladder
+// is the powers of two up to -threads, and the mix set is the core suite
+// (insert, read, balanced, ycsb-b — always run so that every BENCH_*.json is
+// comparable across PRs) plus whatever -mix adds. Use -only to run exactly
+// the -mix list for quick experiments.
+//
+// Results go to stdout as a human table and to -out as machine-readable
+// JSON for the repo's perf-trajectory tracking.
+//
+// Example:
+//
+//	go run ./cmd/dashbench -threads 8 -mix balanced
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"dash/internal/bench"
+	"dash/internal/pmem"
+	"dash/internal/workload"
+)
+
+// coreSuite is the fixed mix set every full run includes, keeping BENCH
+// files comparable PR to PR.
+var coreSuite = []string{"insert", "read", "balanced", "ycsb-b"}
+
+type cellJSON struct {
+	Mix       string  `json:"mix"`
+	Threads   int     `json:"threads"`
+	Ops       int64   `json:"ops"`
+	ElapsedNS int64   `json:"elapsed_ns"`
+	MopsPerS  float64 `json:"mops_per_s"`
+
+	P50NS  int64   `json:"p50_ns"`
+	P90NS  int64   `json:"p90_ns"`
+	P99NS  int64   `json:"p99_ns"`
+	P999NS int64   `json:"p999_ns"`
+	MaxNS  int64   `json:"max_ns"`
+	MeanNS float64 `json:"mean_ns"`
+
+	PMReadBytesPerOp    float64 `json:"pm_read_bytes_per_op"`
+	PMWriteBytesPerOp   float64 `json:"pm_write_bytes_per_op"`
+	PMFlushedBytesPerOp float64 `json:"pm_flushed_bytes_per_op"`
+	PMFencesPerOp       float64 `json:"pm_fences_per_op"`
+
+	Count          int64   `json:"count"`
+	GlobalDepth    uint8   `json:"global_depth"`
+	Segments       int     `json:"segments"`
+	LoadFactor     float64 `json:"load_factor"`
+	StashShare     float64 `json:"stash_share"`
+	AllocatedBytes uint64  `json:"allocated_bytes"`
+}
+
+type benchJSON struct {
+	Bench         string `json:"bench"`
+	SchemaVersion int    `json:"schema_version"`
+	Config        struct {
+		Keyspace  uint64  `json:"keyspace"`
+		Theta     float64 `json:"theta"`
+		OpsPerRun int64   `json:"ops_per_run"`
+		WarmupOps int64   `json:"warmup_ops"`
+		Seed      uint64  `json:"seed"`
+		CostScale int64   `json:"cost_scale"` // 0 = cost model disabled
+	} `json:"config"`
+	Results []cellJSON `json:"results"`
+}
+
+func main() {
+	var (
+		threads  = flag.Int("threads", 8, "max worker goroutines; the run covers the powers-of-two ladder up to this")
+		ops      = flag.Int64("ops", 100_000, "measured operations per cell")
+		warmup   = flag.Int64("warmup", -1, "warmup operations per cell (-1 = ops/10)")
+		keyspace = flag.Uint64("keyspace", 100_000, "preloaded keys; positive ops draw from this range")
+		theta    = flag.Float64("theta", 0, "Zipfian skew in (0,1); 0 = uniform")
+		mixFlag  = flag.String("mix", "", "comma-separated mixes to run in addition to the core suite; 'all' runs every registered mix")
+		only     = flag.Bool("only", false, "run only the -mix list, skipping the core suite (quick experiments)")
+		poolSize = flag.Uint64("pool", 0, "PM pool bytes per cell (0 = sized automatically)")
+		seed     = flag.Uint64("seed", 42, "workload seed; identical seeds replay identical op sequences")
+		scale    = flag.Int64("scale", 1, "Optane cost-model speedup factor; 0 disables cost charging")
+		out      = flag.String("out", "BENCH_dashbench.json", "JSON output path ('' skips writing)")
+		list     = flag.Bool("list", false, "list registered mixes and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, name := range workload.MixNames() {
+			m, _ := workload.MixByName(name)
+			fmt.Println(m)
+		}
+		return
+	}
+
+	mixes, err := selectMixes(*mixFlag, *only)
+	if err != nil {
+		fatal(err)
+	}
+	ladder := threadLadder(*threads)
+	if *warmup < 0 {
+		*warmup = *ops / 10
+	}
+
+	outJSON := benchJSON{Bench: "dashbench", SchemaVersion: 1}
+	outJSON.Config.Keyspace = *keyspace
+	outJSON.Config.Theta = *theta
+	outJSON.Config.OpsPerRun = *ops
+	outJSON.Config.WarmupOps = *warmup
+	outJSON.Config.Seed = *seed
+	outJSON.Config.CostScale = *scale
+
+	fmt.Printf("dashbench: %d mixes × threads %v, %d ops/cell, keyspace %d, theta %g, cost scale %d\n",
+		len(mixes), ladder, *ops, *keyspace, *theta, *scale)
+
+	for _, mix := range mixes {
+		fmt.Printf("\nmix %s\n", mix)
+		fmt.Printf("  %7s %9s %9s %9s %9s %10s %10s %6s %5s\n",
+			"threads", "Mops/s", "p50(µs)", "p99(µs)", "max(µs)", "PMrd B/op", "PMwr B/op", "lf", "depth")
+		for _, th := range ladder {
+			cfg := bench.Config{
+				Threads:   th,
+				Ops:       *ops,
+				WarmupOps: *warmup,
+				Keyspace:  *keyspace,
+				Theta:     *theta,
+				Mix:       mix,
+				Seed:      *seed,
+				PoolSize:  *poolSize,
+			}
+			if *scale > 0 {
+				cfg.Model = pmem.ScaledOptane(*scale)
+			}
+			res, err := bench.Run(cfg)
+			if err != nil {
+				fatal(fmt.Errorf("mix %s threads %d: %w", mix.Name, th, err))
+			}
+			fmt.Printf("  %7d %9.3f %9.1f %9.1f %9.1f %10.1f %10.1f %6.2f %5d\n",
+				th, res.MopsPerS,
+				float64(res.P50NS)/1e3, float64(res.P99NS)/1e3, float64(res.MaxNS)/1e3,
+				res.ReadBytesPerOp, res.WriteBytesPerOp,
+				res.Table.LoadFactor, res.Table.GlobalDepth)
+			outJSON.Results = append(outJSON.Results, toCell(res))
+		}
+	}
+
+	if *out != "" {
+		data, err := json.MarshalIndent(outJSON, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\nwrote %d results to %s\n", len(outJSON.Results), *out)
+	}
+}
+
+// selectMixes resolves the mix set: the core suite plus -mix additions, or
+// exactly the -mix list under -only.
+func selectMixes(mixFlag string, only bool) ([]workload.Mix, error) {
+	var names []string
+	if !only {
+		names = append(names, coreSuite...)
+	}
+	switch {
+	case mixFlag == "all":
+		names = workload.MixNames()
+	case mixFlag != "":
+		for _, n := range strings.Split(mixFlag, ",") {
+			names = append(names, strings.TrimSpace(n))
+		}
+	case only:
+		return nil, fmt.Errorf("-only requires -mix")
+	}
+	var mixes []workload.Mix
+	seen := map[string]bool{}
+	for _, n := range names {
+		if seen[n] {
+			continue
+		}
+		seen[n] = true
+		m, ok := workload.MixByName(n)
+		if !ok {
+			return nil, fmt.Errorf("unknown mix %q (registered: %s)", n, strings.Join(workload.MixNames(), ", "))
+		}
+		mixes = append(mixes, m)
+	}
+	return mixes, nil
+}
+
+// threadLadder returns the powers of two up to and including max.
+func threadLadder(max int) []int {
+	if max < 1 {
+		max = 1
+	}
+	var ladder []int
+	for t := 1; t < max; t *= 2 {
+		ladder = append(ladder, t)
+	}
+	return append(ladder, max)
+}
+
+func toCell(r *bench.Result) cellJSON {
+	return cellJSON{
+		Mix:       r.Mix,
+		Threads:   r.Threads,
+		Ops:       r.Ops,
+		ElapsedNS: r.Elapsed.Nanoseconds(),
+		MopsPerS:  r.MopsPerS,
+		P50NS:     r.P50NS,
+		P90NS:     r.P90NS,
+		P99NS:     r.P99NS,
+		P999NS:    r.P999NS,
+		MaxNS:     r.MaxNS,
+		MeanNS:    r.MeanNS,
+
+		PMReadBytesPerOp:    r.ReadBytesPerOp,
+		PMWriteBytesPerOp:   r.WriteBytesPerOp,
+		PMFlushedBytesPerOp: r.FlushedBytesPerOp,
+		PMFencesPerOp:       r.FencesPerOp,
+
+		Count:          r.Table.Count,
+		GlobalDepth:    r.Table.GlobalDepth,
+		Segments:       r.Table.Segments,
+		LoadFactor:     r.Table.LoadFactor,
+		StashShare:     r.Table.StashShare,
+		AllocatedBytes: r.Table.AllocatedBytes,
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dashbench:", err)
+	os.Exit(1)
+}

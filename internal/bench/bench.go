@@ -1,0 +1,324 @@
+// Package bench is the concurrent benchmark harness for the Dash-EH engine:
+// it preloads a table, drives N goroutines through a deterministic workload
+// (warmup phase, then a timed measurement phase), and reports throughput,
+// per-op latency quantiles, PM traffic per operation, and the table's final
+// shape — the axes the paper evaluates on (§6, Fig. 6–9).
+package bench
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dash/internal/core"
+	"dash/internal/pmem"
+	"dash/internal/workload"
+)
+
+// Config describes one benchmark cell.
+type Config struct {
+	// Threads is the number of worker goroutines.
+	Threads int
+	// Ops is the total number of measured operations, split across threads.
+	Ops int64
+	// WarmupOps is the total number of unmeasured warmup operations run
+	// before measurement; they heat caches and the cost-model clocks and
+	// (for mutating mixes) push the table past its cold-start shape.
+	WarmupOps int64
+	// Keyspace is the number of preloaded records.
+	Keyspace uint64
+	// Theta is the Zipfian skew (0 = uniform); see workload.Config.
+	Theta float64
+	// Mix is the operation mix.
+	Mix workload.Mix
+	// Seed makes the run reproducible.
+	Seed uint64
+	// PoolSize overrides the PM pool size; 0 sizes it from Keyspace and the
+	// mix's expected insert volume.
+	PoolSize uint64
+	// Model, when non-nil, is installed after preload so the measured phase
+	// pays simulated Optane latencies and bandwidth limits. Preload runs
+	// uncharged: it is setup, not workload.
+	Model *pmem.CostModel
+}
+
+// Counts tallies operation outcomes across warmup + measurement. They let
+// callers audit that no operation was lost: the final table count must equal
+// Preloaded + InsertOK − DeleteOK exactly.
+type Counts struct {
+	Preloaded uint64
+	InsertOK  int64 // successful fresh inserts
+	InsertDup int64 // inserts rejected with ErrKeyExists (should be 0)
+	ReadHit   int64
+	ReadMiss  int64 // positive-read misses (deleted by a delete-bearing mix)
+	NegHit    int64 // negative reads that found a key (should be 0)
+	NegMiss   int64
+	UpdateOK  int64
+	UpdateNF  int64
+	DeleteOK  int64
+	DeleteNF  int64
+}
+
+// Result is the outcome of one benchmark cell.
+type Result struct {
+	Mix      string
+	Threads  int
+	Ops      int64
+	Elapsed  time.Duration
+	MopsPerS float64
+
+	// Latency over the measured phase, nanoseconds.
+	Hist   *Hist
+	P50NS  int64
+	P90NS  int64
+	P99NS  int64
+	P999NS int64
+	MaxNS  int64
+	MeanNS float64
+
+	// PM is the raw traffic delta over the measured phase; the *PerOp fields
+	// convert it to bytes (lines × cacheline size) per measured operation.
+	PM                pmem.StatsSnapshot
+	ReadBytesPerOp    float64
+	WriteBytesPerOp   float64
+	FlushedBytesPerOp float64
+	FencesPerOp       float64
+
+	// Table is the shape after the run.
+	Table core.TableStats
+
+	Counts Counts
+}
+
+// errStopped is the sentinel a worker returns when another worker failed.
+var errStopped = errors.New("bench: stopped by peer failure")
+
+// Run executes one benchmark cell: build pool and table, preload, warmup,
+// measure. Every phase is deterministic in cfg.Seed except scheduling.
+func Run(cfg Config) (*Result, error) {
+	if cfg.Threads <= 0 {
+		return nil, fmt.Errorf("bench: threads must be > 0")
+	}
+	if cfg.Ops <= 0 {
+		return nil, fmt.Errorf("bench: ops must be > 0")
+	}
+
+	gen, err := workload.NewGenerator(workload.Config{
+		Keyspace: cfg.Keyspace,
+		Theta:    cfg.Theta,
+		Mix:      cfg.Mix,
+		Seed:     cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	pool, err := pmem.NewPool(pmem.Options{Size: cfg.poolSize()})
+	if err != nil {
+		return nil, err
+	}
+	tb, err := core.Create(pool, core.Options{Seed: cfg.Seed | 1})
+	if err != nil {
+		return nil, err
+	}
+	defer tb.Close()
+
+	for i := uint64(0); i < cfg.Keyspace; i++ {
+		if err := tb.Insert(workload.PreloadKey(i), i); err != nil {
+			return nil, fmt.Errorf("bench: preload key %d: %w", i, err)
+		}
+	}
+
+	// The cost model joins after preload, so only workload traffic is charged.
+	if cfg.Model != nil {
+		pool.SetModel(cfg.Model)
+		defer pool.SetModel(nil)
+	}
+
+	workers := make([]*worker, cfg.Threads)
+	for w := range workers {
+		workers[w] = &worker{table: tb, stream: gen.Stream(w)}
+	}
+
+	if cfg.WarmupOps > 0 {
+		if err := runPhase(workers, cfg.WarmupOps, false); err != nil {
+			return nil, err
+		}
+	}
+
+	before := pool.Stats()
+	start := time.Now()
+	if err := runPhase(workers, cfg.Ops, true); err != nil {
+		return nil, err
+	}
+	elapsed := time.Since(start)
+	pm := pool.Stats().Sub(before)
+
+	res := &Result{
+		Mix:     cfg.Mix.Name,
+		Threads: cfg.Threads,
+		Ops:     cfg.Ops,
+		Elapsed: elapsed,
+		Hist:    &Hist{},
+		PM:      pm,
+		Table:   tb.Stats(),
+	}
+	res.Counts.Preloaded = cfg.Keyspace
+	for _, w := range workers {
+		res.Hist.Merge(&w.hist)
+		res.Counts.add(&w.counts)
+	}
+	if res.Hist.Total() != uint64(cfg.Ops) {
+		return nil, fmt.Errorf("bench: recorded %d latencies for %d ops", res.Hist.Total(), cfg.Ops)
+	}
+	if sec := elapsed.Seconds(); sec > 0 {
+		res.MopsPerS = float64(cfg.Ops) / sec / 1e6
+	}
+	res.P50NS = res.Hist.Quantile(0.50)
+	res.P90NS = res.Hist.Quantile(0.90)
+	res.P99NS = res.Hist.Quantile(0.99)
+	res.P999NS = res.Hist.Quantile(0.999)
+	res.MaxNS = res.Hist.Max()
+	res.MeanNS = res.Hist.Mean()
+	ops := float64(cfg.Ops)
+	res.ReadBytesPerOp = float64(pm.ReadLines) * pmem.CachelineSize / ops
+	res.WriteBytesPerOp = float64(pm.WriteLines) * pmem.CachelineSize / ops
+	res.FlushedBytesPerOp = float64(pm.FlushedLines) * pmem.CachelineSize / ops
+	res.FencesPerOp = float64(pm.Fences) / ops
+
+	// Lost-operation audit: the table must account for exactly the
+	// operations the workers report having applied.
+	if want := int64(cfg.Keyspace) + res.Counts.InsertOK - res.Counts.DeleteOK; tb.Count() != want {
+		return nil, fmt.Errorf("bench: lost operations: table count %d, want %d", tb.Count(), want)
+	}
+	return res, nil
+}
+
+// poolSize returns cfg.PoolSize or a size derived from the record volume the
+// run can reach. 64 bytes per record covers the segment layout down to ~27%
+// load factor (the post-split trough), plus directory blocks and slack.
+func (cfg Config) poolSize() uint64 {
+	if cfg.PoolSize != 0 {
+		return cfg.PoolSize
+	}
+	inserts := uint64((cfg.Ops + cfg.WarmupOps) * int64(cfg.Mix.Percent[workload.OpInsert]) / 100)
+	size := (cfg.Keyspace+inserts)*64 + 8<<20
+	return size
+}
+
+type worker struct {
+	table  *core.Table
+	stream *workload.Stream
+	hist   Hist
+	counts Counts
+}
+
+// runPhase drives every worker through its share of totalOps operations,
+// recording latency when measured is true. The first worker error (pool
+// exhaustion, lost-update anomalies surfaced as errors) stops the phase.
+func runPhase(workers []*worker, totalOps int64, measured bool) error {
+	n := int64(len(workers))
+	var (
+		wg       sync.WaitGroup
+		stopped  atomic.Bool
+		firstErr atomic.Pointer[error]
+	)
+	for i, w := range workers {
+		ops := totalOps / n
+		if int64(i) < totalOps%n {
+			ops++
+		}
+		wg.Add(1)
+		go func(w *worker, ops int64) {
+			defer wg.Done()
+			if err := w.run(ops, measured, &stopped); err != nil && !errors.Is(err, errStopped) {
+				e := err
+				if firstErr.CompareAndSwap(nil, &e) {
+					stopped.Store(true)
+				}
+			}
+		}(w, ops)
+	}
+	wg.Wait()
+	if e := firstErr.Load(); e != nil {
+		return *e
+	}
+	return nil
+}
+
+func (w *worker) run(ops int64, measured bool, stopped *atomic.Bool) error {
+	for i := int64(0); i < ops; i++ {
+		if stopped.Load() {
+			return errStopped
+		}
+		op := w.stream.Next()
+		var start time.Time
+		if measured {
+			start = time.Now()
+		}
+		if err := w.apply(op); err != nil {
+			return err
+		}
+		if measured {
+			w.hist.Record(time.Since(start).Nanoseconds())
+		}
+	}
+	return nil
+}
+
+func (w *worker) apply(op workload.Op) error {
+	c := &w.counts
+	switch op.Kind {
+	case workload.OpInsert:
+		switch err := w.table.Insert(op.Key, op.Key^0x9e3779b97f4a7c15); {
+		case err == nil:
+			c.InsertOK++
+		case errors.Is(err, core.ErrKeyExists):
+			c.InsertDup++
+		default:
+			return err
+		}
+	case workload.OpRead:
+		if _, ok := w.table.Get(op.Key); ok {
+			c.ReadHit++
+		} else {
+			c.ReadMiss++
+		}
+	case workload.OpReadNeg:
+		if _, ok := w.table.Get(op.Key); ok {
+			c.NegHit++
+		} else {
+			c.NegMiss++
+		}
+	case workload.OpUpdate:
+		if w.table.Update(op.Key, op.Key+1) {
+			c.UpdateOK++
+		} else {
+			c.UpdateNF++
+		}
+	case workload.OpDelete:
+		if w.table.Delete(op.Key) {
+			c.DeleteOK++
+		} else {
+			c.DeleteNF++
+		}
+	default:
+		return fmt.Errorf("bench: unknown op kind %v", op.Kind)
+	}
+	return nil
+}
+
+func (c *Counts) add(o *Counts) {
+	c.InsertOK += o.InsertOK
+	c.InsertDup += o.InsertDup
+	c.ReadHit += o.ReadHit
+	c.ReadMiss += o.ReadMiss
+	c.NegHit += o.NegHit
+	c.NegMiss += o.NegMiss
+	c.UpdateOK += o.UpdateOK
+	c.UpdateNF += o.UpdateNF
+	c.DeleteOK += o.DeleteOK
+	c.DeleteNF += o.DeleteNF
+}

@@ -1,0 +1,107 @@
+package bench
+
+import "math/bits"
+
+// Hist is a log-bucketed latency histogram: 16 linear sub-buckets per power
+// of two, so any recorded value lands in a bucket whose floor is within 1/16
+// (6.25%) of it — plenty for p50/p99 reporting while the whole histogram is
+// one fixed 8KiB array. Each worker goroutine records into its own Hist with
+// no synchronization, and the harness merges them after the run.
+const (
+	histSub     = 16 // linear sub-buckets per octave
+	histBuckets = 1024
+)
+
+// Hist accumulates nanosecond durations. Not safe for concurrent use; use
+// one per goroutine and Merge.
+type Hist struct {
+	counts [histBuckets]uint64
+	total  uint64
+	sum    uint64
+	max    int64
+}
+
+// bucketIndex maps a nanosecond value to its bucket.
+func bucketIndex(v int64) int {
+	if v < histSub {
+		if v < 0 {
+			return 0
+		}
+		return int(v)
+	}
+	e := bits.Len64(uint64(v)) - 1 // >= 4
+	return histSub*(e-3) + int(v>>(uint(e)-4)) - histSub
+}
+
+// bucketFloor is the smallest value mapping to bucket idx.
+func bucketFloor(idx int) int64 {
+	if idx < histSub {
+		return int64(idx)
+	}
+	e := idx/histSub + 3
+	off := idx % histSub
+	return int64(histSub+off) << (uint(e) - 4)
+}
+
+// Record adds one observation of v nanoseconds.
+func (h *Hist) Record(v int64) {
+	h.counts[bucketIndex(v)]++
+	h.total++
+	if v > 0 {
+		h.sum += uint64(v)
+	}
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Merge folds o into h.
+func (h *Hist) Merge(o *Hist) {
+	for i, c := range o.counts {
+		h.counts[i] += c
+	}
+	h.total += o.total
+	h.sum += o.sum
+	if o.max > h.max {
+		h.max = o.max
+	}
+}
+
+// Total returns the number of recorded observations.
+func (h *Hist) Total() uint64 { return h.total }
+
+// Max returns the largest recorded value.
+func (h *Hist) Max() int64 { return h.max }
+
+// Mean returns the arithmetic mean of the recorded values (exact, not
+// bucketed), or 0 when empty.
+func (h *Hist) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.total)
+}
+
+// Quantile returns the bucket floor of the q'th quantile (q in [0, 1]), a
+// conservative estimate within 6.25% below the true value. Returns 0 when
+// the histogram is empty.
+func (h *Hist) Quantile(q float64) int64 {
+	if h.total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(q * float64(h.total-1))
+	acc := uint64(0)
+	for i, c := range h.counts {
+		acc += c
+		if acc > rank {
+			return bucketFloor(i)
+		}
+	}
+	return h.max
+}

@@ -1,0 +1,63 @@
+package bench
+
+import "testing"
+
+func TestBucketRoundTrip(t *testing.T) {
+	for _, v := range []int64{0, 1, 15, 16, 17, 31, 32, 63, 100, 1000, 1 << 20, 1<<40 + 12345} {
+		idx := bucketIndex(v)
+		if idx < 0 || idx >= histBuckets {
+			t.Fatalf("bucketIndex(%d) = %d out of range", v, idx)
+		}
+		floor := bucketFloor(idx)
+		if floor > v {
+			t.Errorf("bucketFloor(%d) = %d > value %d", idx, floor, v)
+		}
+		// The floor must be within one sub-bucket (1/16) of the value.
+		if v >= histSub && float64(v-floor) > float64(v)/histSub {
+			t.Errorf("value %d floor %d off by more than 1/16", v, floor)
+		}
+		if idx > 0 && bucketFloor(idx) <= bucketFloor(idx-1) {
+			t.Errorf("bucket floors not increasing at %d", idx)
+		}
+	}
+}
+
+func TestHistQuantilesAndMerge(t *testing.T) {
+	var a, b Hist
+	// 1000 observations: 0..999 split across two histograms.
+	for v := int64(0); v < 1000; v++ {
+		if v%2 == 0 {
+			a.Record(v)
+		} else {
+			b.Record(v)
+		}
+	}
+	a.Merge(&b)
+	if a.Total() != 1000 {
+		t.Fatalf("merged total = %d, want 1000", a.Total())
+	}
+	if a.Max() != 999 {
+		t.Fatalf("merged max = %d, want 999", a.Max())
+	}
+	if m := a.Mean(); m < 499 || m > 500 {
+		t.Fatalf("mean = %f, want ~499.5", m)
+	}
+	p50 := a.Quantile(0.5)
+	if p50 < 400 || p50 > 520 {
+		t.Fatalf("p50 = %d, want ~500 within bucket error", p50)
+	}
+	p99 := a.Quantile(0.99)
+	if p99 < 900 || p99 > 999 {
+		t.Fatalf("p99 = %d, want ~990 within bucket error", p99)
+	}
+	if q0, q1 := a.Quantile(0), a.Quantile(1); q0 != 0 || q1 < 930 {
+		t.Fatalf("extreme quantiles = %d, %d", q0, q1)
+	}
+}
+
+func TestHistEmpty(t *testing.T) {
+	var h Hist
+	if h.Quantile(0.5) != 0 || h.Mean() != 0 || h.Total() != 0 {
+		t.Fatal("empty histogram should report zeros")
+	}
+}

@@ -1,0 +1,86 @@
+package core
+
+import (
+	"dash/internal/pmem"
+)
+
+// Table-shape introspection for the benchmark harness and tests: everything
+// an observer needs to reason about load factor, directory growth and stash
+// pressure without reaching into the layer internals.
+
+// TableStats is a point-in-time structural snapshot of a Table.
+//
+// Taken concurrently with writers it is approximate — per-bucket occupancy
+// words are read atomically but not mutually consistently — which is the
+// right trade for a monitoring surface: it never blocks the data path.
+type TableStats struct {
+	// Count is the number of live records (exact, from the table's counter).
+	Count int64
+	// GlobalDepth is the directory's depth; the directory holds 2^GlobalDepth
+	// segment pointers.
+	GlobalDepth uint8
+	// Segments is the number of distinct segments the directory references.
+	Segments int
+	// SlotCapacity is Segments × slots per segment: the record capacity at
+	// the current shape.
+	SlotCapacity int64
+	// LoadFactor is Count / SlotCapacity.
+	LoadFactor float64
+	// StashRecords is the number of records living in stash buckets.
+	StashRecords int64
+	// StashShare is StashRecords over the records observed by the walk — the
+	// fraction of lookups' worst-case extra probes the stash is absorbing.
+	StashShare float64
+	// AllocatedBytes is the PM consumed by the bump allocator (segments,
+	// directories, including retired-but-reusable blocks).
+	AllocatedBytes uint64
+}
+
+// Stats walks the directory and every segment's bucket headers and returns
+// the table's shape. It runs under an epoch guard like every directory
+// traversal, uses quiet (unaccounted) loads so observing the table does not
+// perturb the PM-traffic counters or the cost model mid-benchmark, and takes
+// no locks.
+func (t *Table) Stats() TableStats {
+	g := t.em.Enter()
+	defer g.Exit()
+	p := t.pool
+
+	dir := pmem.Addr(p.QuietLoadU64(rootAddr.Add(rootOffDir)))
+	depth := uint8(p.QuietLoadU64(dir.Add(dirOffDepth)))
+	n := uint64(1) << depth
+
+	seen := make(map[pmem.Addr]bool)
+	var walked, stash int64
+	for i := uint64(0); i < n; i++ {
+		seg := pmem.Addr(p.QuietLoadU64(dirEntryAddr(dir, i)))
+		if seg.IsNull() || seen[seg] {
+			continue
+		}
+		seen[seg] = true
+		for bi := 0; bi < totalBuckets; bi++ {
+			m := p.QuietLoadU64(segBucket(seg, bi).Add(bkOffMeta))
+			used := int64(slotsPerBucket - metaFreeSlots(m))
+			walked += used
+			if bi >= normalBuckets {
+				stash += used
+			}
+		}
+	}
+
+	st := TableStats{
+		Count:          t.count.Load(),
+		GlobalDepth:    depth,
+		Segments:       len(seen),
+		SlotCapacity:   int64(len(seen)) * slotsPerSegment,
+		StashRecords:   stash,
+		AllocatedBytes: p.QuietLoadU64(rootAddr.Add(rootOffAllocNxt)) - allocStart,
+	}
+	if st.SlotCapacity > 0 {
+		st.LoadFactor = float64(st.Count) / float64(st.SlotCapacity)
+	}
+	if walked > 0 {
+		st.StashShare = float64(stash) / float64(walked)
+	}
+	return st
+}

@@ -114,10 +114,13 @@ func NewPool(opt Options) (*Pool, error) {
 // Size returns the arena capacity in bytes.
 func (p *Pool) Size() uint64 { return p.size }
 
-// Stats returns a snapshot of the PM traffic counters.
+// Stats returns a snapshot of the PM traffic counters. Safe to call while
+// other goroutines access the pool; see StatsSnapshot for the (per-counter,
+// not cross-counter) consistency it provides.
 func (p *Pool) Stats() StatsSnapshot { return p.stats.snapshot() }
 
-// ResetStats zeroes the PM traffic counters.
+// ResetStats zeroes the PM traffic counters. Safe to call mid-run; see
+// Stats.reset for what concurrent increments may observe.
 func (p *Pool) ResetStats() { p.stats.reset() }
 
 // CostModel returns the active cost model, or nil.

@@ -39,6 +39,12 @@ func (s *Stats) addFence() {
 }
 
 // StatsSnapshot is a point-in-time view of PM traffic.
+//
+// Snapshots may be taken while accessors run on other goroutines: every
+// counter is an independent atomic, so a snapshot is race-free but not a
+// single consistent cut — each counter is exact at some instant during the
+// call, which is the strongest guarantee lock-free accounting can offer and
+// all a windowed measurement needs (counters only grow between resets).
 type StatsSnapshot struct {
 	// ReadLines and WriteLines count cachelines touched by reads/writes.
 	ReadLines, WriteLines uint64
@@ -52,13 +58,23 @@ func (s StatsSnapshot) MediaReadBlocks() uint64 {
 	return (s.ReadLines*CachelineSize + MediaBlockSize - 1) / MediaBlockSize
 }
 
-// Sub returns s minus earlier, for windowed measurements.
+// Sub returns s minus earlier, for windowed measurements. The subtraction
+// saturates at zero per counter: if a concurrent reset fell between the two
+// snapshots, a counter can be smaller in the later one, and a saturated zero
+// is a sane reading where a wrapped ~2^64 would poison every per-op metric
+// derived from the window.
 func (s StatsSnapshot) Sub(earlier StatsSnapshot) StatsSnapshot {
+	sat := func(a, b uint64) uint64 {
+		if a < b {
+			return 0
+		}
+		return a - b
+	}
 	return StatsSnapshot{
-		ReadLines:    s.ReadLines - earlier.ReadLines,
-		WriteLines:   s.WriteLines - earlier.WriteLines,
-		FlushedLines: s.FlushedLines - earlier.FlushedLines,
-		Fences:       s.Fences - earlier.Fences,
+		ReadLines:    sat(s.ReadLines, earlier.ReadLines),
+		WriteLines:   sat(s.WriteLines, earlier.WriteLines),
+		FlushedLines: sat(s.FlushedLines, earlier.FlushedLines),
+		Fences:       sat(s.Fences, earlier.Fences),
 	}
 }
 
@@ -74,6 +90,10 @@ func (s *Stats) snapshot() StatsSnapshot {
 	return out
 }
 
+// reset zeroes the counters shard by shard. Safe to call while accessors
+// run — each store is atomic — but increments landing mid-reset may survive
+// in not-yet-cleared shards or vanish in already-cleared ones; a mid-run
+// reset therefore re-baselines "roughly now" rather than at one instant.
 func (s *Stats) reset() {
 	for i := range s.shards {
 		sh := &s.shards[i]

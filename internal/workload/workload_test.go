@@ -1,0 +1,170 @@
+package workload
+
+import (
+	"testing"
+)
+
+func mustMix(t *testing.T, name string) Mix {
+	t.Helper()
+	m, ok := MixByName(name)
+	if !ok {
+		t.Fatalf("mix %q not registered", name)
+	}
+	return m
+}
+
+func TestRegisteredMixesValid(t *testing.T) {
+	if len(Mixes) < 5 {
+		t.Fatalf("expected at least 5 registered mixes, got %d", len(Mixes))
+	}
+	for _, m := range Mixes {
+		if err := m.validate(); err != nil {
+			t.Errorf("mix %q invalid: %v", m.Name, err)
+		}
+	}
+}
+
+func TestDeterminismAcrossIdenticalSeeds(t *testing.T) {
+	cfg := Config{Keyspace: 10_000, Theta: 0.9, Mix: mustMix(t, "delete-heavy"), Seed: 7}
+	g1, err := NewGenerator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := NewGenerator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, s2 := g1.Stream(3), g2.Stream(3)
+	for i := 0; i < 5000; i++ {
+		o1, o2 := s1.Next(), s2.Next()
+		if o1 != o2 {
+			t.Fatalf("op %d diverged: %+v vs %+v", i, o1, o2)
+		}
+	}
+}
+
+func TestDistinctWorkersDecorrelated(t *testing.T) {
+	g, err := NewGenerator(Config{Keyspace: 10_000, Mix: mustMix(t, "read"), Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, s2 := g.Stream(0), g.Stream(1)
+	same := 0
+	const n = 2000
+	for i := 0; i < n; i++ {
+		if s1.Next() == s2.Next() {
+			same++
+		}
+	}
+	if same > n/50 {
+		t.Fatalf("workers 0 and 1 agree on %d/%d ops; streams are correlated", same, n)
+	}
+}
+
+func TestMixRatios(t *testing.T) {
+	const n = 100_000
+	for _, tc := range []struct {
+		mix  string
+		want map[OpKind]float64
+	}{
+		{"balanced", map[OpKind]float64{OpInsert: 0.50, OpRead: 0.50}},
+		{"ycsb-b", map[OpKind]float64{OpRead: 0.95, OpUpdate: 0.05}},
+		{"delete-heavy", map[OpKind]float64{OpInsert: 0.25, OpRead: 0.25, OpDelete: 0.50}},
+	} {
+		g, err := NewGenerator(Config{Keyspace: 1000, Mix: mustMix(t, tc.mix), Seed: 42})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := g.Stream(0)
+		var counts [numOpKinds]int
+		for i := 0; i < n; i++ {
+			counts[s.Next().Kind]++
+		}
+		for k := OpKind(0); k < numOpKinds; k++ {
+			got := float64(counts[k]) / n
+			want := tc.want[k]
+			if got < want-0.01 || got > want+0.01 {
+				t.Errorf("mix %s: %s share = %.3f, want %.2f ± 0.01", tc.mix, k, got, want)
+			}
+		}
+	}
+}
+
+func TestKeyNamespacesDisjoint(t *testing.T) {
+	g, err := NewGenerator(Config{Keyspace: 1000, Mix: mustMix(t, "delete-heavy"), Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := g.Stream(0)
+	seenInsert := map[uint64]bool{}
+	for i := 0; i < 20_000; i++ {
+		op := s.Next()
+		switch op.Kind {
+		case OpInsert:
+			if op.Key < insertKeyBit {
+				t.Fatalf("insert key %#x in preload namespace", op.Key)
+			}
+			if seenInsert[op.Key] {
+				t.Fatalf("insert key %#x repeated", op.Key)
+			}
+			seenInsert[op.Key] = true
+		case OpReadNeg:
+			if op.Key&negKeyBit == 0 {
+				t.Fatalf("negative-read key %#x lacks the negative namespace bit", op.Key)
+			}
+		default:
+			if op.Key >= 1000 {
+				t.Fatalf("%s key %d outside preloaded range", op.Kind, op.Key)
+			}
+		}
+	}
+}
+
+// TestZipfSkewGrowsWithTheta checks the defining Zipfian property the bench
+// relies on: the rank-0 key's share of draws increases with theta, and every
+// draw stays inside the keyspace.
+func TestZipfSkewGrowsWithTheta(t *testing.T) {
+	const n = 1000
+	const draws = 50_000
+	share := func(theta float64) float64 {
+		z, err := newZipf(n, theta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := newRNG(123)
+		hot := 0
+		for i := 0; i < draws; i++ {
+			k := z.next(r)
+			if k >= n {
+				t.Fatalf("zipf(theta=%g) drew rank %d >= %d", theta, k, n)
+			}
+			if k == 0 {
+				hot++
+			}
+		}
+		return float64(hot) / draws
+	}
+	s50, s90, s99 := share(0.5), share(0.9), share(0.99)
+	if !(s50 < s90 && s90 < s99) {
+		t.Fatalf("rank-0 share not increasing with theta: %.4f (0.5), %.4f (0.9), %.4f (0.99)", s50, s90, s99)
+	}
+	// theta=0.99 over 1000 keys concentrates ~13% of draws on rank 0; a
+	// uniform distribution would give 0.1%. Use a loose band.
+	if s99 < 0.05 {
+		t.Fatalf("zipf theta=0.99 rank-0 share %.4f implausibly low", s99)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	mix := mustMix(t, "read")
+	if _, err := NewGenerator(Config{Keyspace: 0, Mix: mix}); err == nil {
+		t.Error("zero keyspace accepted")
+	}
+	if _, err := NewGenerator(Config{Keyspace: 100, Theta: 1.5, Mix: mix}); err == nil {
+		t.Error("theta out of range accepted")
+	}
+	bad := Mix{Name: "bad", Percent: pct(60, 60, 0, 0, 0)}
+	if _, err := NewGenerator(Config{Keyspace: 100, Mix: bad}); err == nil {
+		t.Error("mix summing to 120 accepted")
+	}
+}

@@ -1,0 +1,70 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+)
+
+// Zipfian rank generator after Gray et al., "Quickly Generating
+// Billion-Record Synthetic Databases" (SIGMOD '94) — the same construction
+// YCSB uses. Ranks are drawn over [0, n) with P(rank=i) ∝ 1/(i+1)^theta;
+// rank 0 is the hottest key. theta must lie in (0, 1): theta→0 approaches
+// uniform, theta 0.99 is the YCSB default hot-spot skew.
+//
+// Setup computes the generalized harmonic number zeta(n, theta) in O(n); the
+// per-draw cost is then O(1) (one uniform variate, one pow). A zipf value is
+// immutable after newZipf and safe to share across worker streams.
+type zipf struct {
+	n     uint64
+	theta float64
+
+	alpha float64 // 1/(1-theta)
+	zetan float64 // zeta(n, theta)
+	eta   float64
+	half  float64 // 1 + 0.5^theta: cumulative mass of ranks {0, 1}
+}
+
+func newZipf(n uint64, theta float64) (*zipf, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("workload: zipf needs a keyspace of at least 2, got %d", n)
+	}
+	if theta <= 0 || theta >= 1 {
+		return nil, fmt.Errorf("workload: zipf theta must be in (0, 1), got %g", theta)
+	}
+	zetan := zeta(n, theta)
+	zeta2 := zeta(2, theta)
+	return &zipf{
+		n:     n,
+		theta: theta,
+		alpha: 1 / (1 - theta),
+		zetan: zetan,
+		eta:   (1 - math.Pow(2/float64(n), 1-theta)) / (1 - zeta2/zetan),
+		half:  1 + math.Pow(0.5, theta),
+	}, nil
+}
+
+// zeta returns the generalized harmonic number sum_{i=1..n} 1/i^theta.
+func zeta(n uint64, theta float64) float64 {
+	sum := 0.0
+	for i := uint64(1); i <= n; i++ {
+		sum += 1 / math.Pow(float64(i), theta)
+	}
+	return sum
+}
+
+// next draws a rank in [0, n) using r's randomness.
+func (z *zipf) next(r *rng) uint64 {
+	u := r.float64()
+	uz := u * z.zetan
+	if uz < 1 {
+		return 0
+	}
+	if uz < z.half {
+		return 1
+	}
+	rank := uint64(float64(z.n) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+	if rank >= z.n { // guard the float boundary at u→1
+		rank = z.n - 1
+	}
+	return rank
+}
