@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet build test race ci fmt-check bench bench-smoke
+.PHONY: all vet build test race ci fmt-check docs-check bench bench-smoke
 
 all: ci
 
@@ -21,6 +21,25 @@ fmt-check:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
+# docs-check enforces the documentation layer: go vet over everything (it
+# flags malformed doc comments) plus a missing-package-comment lint — every
+# package directory must have at least one file opening with a "// Package"
+# (or, for main packages, "// Command") doc comment, so `go doc` explains
+# each layer's contract.
+docs-check: vet
+	@missing=$$($(GO) list -f '{{.Dir}} {{join .GoFiles " "}}' ./... | \
+	while read -r dir files; do \
+		ok=0; \
+		for f in $$files; do \
+			if grep -qE '^// (Package|Command) ' "$$dir/$$f"; then ok=1; break; fi; \
+		done; \
+		if [ $$ok -eq 0 ]; then echo "  $$dir"; fi; \
+	done); \
+	if [ -n "$$missing" ]; then \
+		echo "packages missing a package doc comment:"; echo "$$missing"; exit 1; \
+	fi
+	@echo "docs-check: all packages documented"
+
 # bench-smoke is a seconds-long fixed configuration proving the whole
 # dashbench pipeline (workload → harness → CLI → JSON) end to end; the cost
 # model is off (-scale 0) so it measures nothing, it only has to run.
@@ -30,12 +49,12 @@ bench-smoke:
 		-out $${TMPDIR:-/tmp}/BENCH_smoke.json
 
 # bench is the real measurement matrix (core mix suite × 1..8 threads under
-# the full Optane cost model) and writes the trajectory file BENCH_pr2.json.
+# the full Optane cost model) and writes the trajectory file BENCH_pr3.json.
 bench:
 	$(GO) run ./cmd/dashbench -threads 8 -ops 100000 -keyspace 100000 \
-		-out BENCH_pr2.json
+		-out BENCH_pr3.json
 
 # ci is the gate every change must pass: vet, build, the full test suite
-# under the race detector (the concurrency tests rely on it), and the
-# benchmark pipeline smoke.
-ci: fmt-check vet build race bench-smoke
+# under the race detector (the concurrency tests rely on it), the docs
+# lint, and the benchmark pipeline smoke.
+ci: fmt-check vet build race docs-check bench-smoke

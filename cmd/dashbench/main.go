@@ -58,6 +58,11 @@ type cellJSON struct {
 	LoadFactor     float64 `json:"load_factor"`
 	StashShare     float64 `json:"stash_share"`
 	AllocatedBytes uint64  `json:"allocated_bytes"`
+
+	DirCacheHits    uint64  `json:"dir_cache_hits"`
+	DirCacheMisses  uint64  `json:"dir_cache_misses"`
+	DirCacheHitRate float64 `json:"dir_cache_hit_rate"`
+	DirCacheBytes   uint64  `json:"dir_cache_bytes"`
 }
 
 type benchJSON struct {
@@ -121,8 +126,8 @@ func main() {
 
 	for _, mix := range mixes {
 		fmt.Printf("\nmix %s\n", mix)
-		fmt.Printf("  %7s %9s %9s %9s %9s %10s %10s %6s %5s\n",
-			"threads", "Mops/s", "p50(µs)", "p99(µs)", "max(µs)", "PMrd B/op", "PMwr B/op", "lf", "depth")
+		fmt.Printf("  %7s %9s %9s %9s %9s %10s %10s %6s %5s %7s\n",
+			"threads", "Mops/s", "p50(µs)", "p99(µs)", "max(µs)", "PMrd B/op", "PMwr B/op", "lf", "depth", "dchit%")
 		for _, th := range ladder {
 			cfg := bench.Config{
 				Threads:   th,
@@ -141,11 +146,12 @@ func main() {
 			if err != nil {
 				fatal(fmt.Errorf("mix %s threads %d: %w", mix.Name, th, err))
 			}
-			fmt.Printf("  %7d %9.3f %9.1f %9.1f %9.1f %10.1f %10.1f %6.2f %5d\n",
+			fmt.Printf("  %7d %9.3f %9.1f %9.1f %9.1f %10.1f %10.1f %6.2f %5d %7.3f\n",
 				th, res.MopsPerS,
 				float64(res.P50NS)/1e3, float64(res.P99NS)/1e3, float64(res.MaxNS)/1e3,
 				res.ReadBytesPerOp, res.WriteBytesPerOp,
-				res.Table.LoadFactor, res.Table.GlobalDepth)
+				res.Table.LoadFactor, res.Table.GlobalDepth,
+				100*res.Table.DirCacheHitRate)
 			outJSON.Results = append(outJSON.Results, toCell(res))
 		}
 	}
@@ -232,6 +238,11 @@ func toCell(r *bench.Result) cellJSON {
 		LoadFactor:     r.Table.LoadFactor,
 		StashShare:     r.Table.StashShare,
 		AllocatedBytes: r.Table.AllocatedBytes,
+
+		DirCacheHits:    r.Table.DirCacheHits,
+		DirCacheMisses:  r.Table.DirCacheMisses,
+		DirCacheHitRate: r.Table.DirCacheHitRate,
+		DirCacheBytes:   r.Table.DirCacheBytes,
 	}
 }
 

@@ -149,6 +149,7 @@ func Run(cfg Config) (*Result, error) {
 	}
 
 	before := pool.Stats()
+	tbefore := tb.Stats()
 	start := time.Now()
 	if err := runPhase(workers, cfg.Ops, true); err != nil {
 		return nil, err
@@ -164,6 +165,15 @@ func Run(cfg Config) (*Result, error) {
 		Hist:    &Hist{},
 		PM:      pm,
 		Table:   tb.Stats(),
+	}
+	// Re-window the cumulative directory-cache counters to the measured
+	// phase, like every other per-op metric: preload and warmup routes
+	// would otherwise dilute the reported hit rate.
+	res.Table.DirCacheHits -= tbefore.DirCacheHits
+	res.Table.DirCacheMisses -= tbefore.DirCacheMisses
+	res.Table.DirCacheHitRate = 1
+	if hm := res.Table.DirCacheHits + res.Table.DirCacheMisses; hm > 0 {
+		res.Table.DirCacheHitRate = float64(res.Table.DirCacheHits) / float64(hm)
 	}
 	res.Counts.Preloaded = cfg.Keyspace
 	for _, w := range workers {

@@ -247,6 +247,11 @@ func findTrackedSlot(p *pmem.Pool, b pmem.Addr, fp uint8, stashIdx int) int {
 // scan completes under an unchanged even version (seqlock read), so the
 // returned result — and the header words handed back for overflow-probing
 // decisions — form a consistent snapshot.
+//
+// Accounting follows the one-charge-per-line discipline: the version load
+// pays for the header cacheline, so the meta/fingerprint words sharing that
+// line are read quietly — a probe is charged one header line plus one line
+// per fingerprint-matched record it dereferences.
 func bucketSearchOpt(p *pmem.Pool, b pmem.Addr, fp uint8, key uint64) (val uint64, found bool, m, hi uint64) {
 	va := b.Add(bkOffVersion)
 	for {
@@ -255,7 +260,7 @@ func bucketSearchOpt(p *pmem.Pool, b pmem.Addr, fp uint8, key uint64) (val uint6
 			runtime.Gosched()
 			continue
 		}
-		m = p.LoadU64(b.Add(bkOffMeta))
+		m = p.QuietLoadU64(b.Add(bkOffMeta))
 		lo := p.QuietLoadU64(b.Add(bkOffFPLo))
 		hi = p.QuietLoadU64(b.Add(bkOffFPHi))
 		val, found = 0, false

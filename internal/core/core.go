@@ -8,19 +8,31 @@
 //	               version locks; split orchestration and crash recovery.
 //	directory.go — extendible-hashing directory: global depth + 2^depth
 //	               segment pointers indexed by the hash's MSBs, doubled via
-//	               an atomic root-pointer flip.
+//	               an atomic root-pointer flip. The PM block is the
+//	               crash-consistent source of truth only; hot-path routing
+//	               goes through dircache.go.
+//	dircache.go  — DRAM-resident mirror of the directory (global depth,
+//	               segment addresses, local depths), consulted first by
+//	               every operation, kept fresh by write-through from splits
+//	               and doublings, validated against PM before any miss is
+//	               trusted, and rebuilt in O(directory) on Open.
 //	segment.go   — fixed arrays of 64 normal + 2 stash buckets; balanced
 //	               insert across a bucket pair, displacement into neighbors,
 //	               stash overflow with fingerprint tracking metadata.
 //	bucket.go    — 256-byte cacheline-aligned buckets of 14 records with
 //	               one-byte fingerprints probed before any key dereference,
 //	               a seqlock version word, and a bitmap commit point.
+//	stats.go     — lock-free TableStats snapshot (shape, load factor, stash
+//	               pressure, directory-cache hit rates) for benchmarks and
+//	               monitoring.
 //
-// Everything is addressed by pmem.Pool offsets, so the whole structure
-// survives pmem's simulated power loss (Pool.Crash) and reopens from the
-// durable media image via Open. The hash-bit contract shared by all layers
-// — fingerprint from the low byte, bucket index from the next bits,
-// directory index from the MSBs — lives in hashfn.Parts.
+// Everything persistent is addressed by pmem.Pool offsets, so the whole
+// structure survives pmem's simulated power loss (Pool.Crash) and reopens
+// from the durable media image via Open; the directory cache is the one
+// deliberately DRAM-only piece, reconstructible metadata kept out of the
+// persistence domain. The hash-bit contract shared by all layers —
+// fingerprint from the low byte, bucket index from the next bits, directory
+// index from the MSBs — lives in hashfn.Parts.
 //
 // The exported entry points are Create (format a pool), Open (recover a
 // crashed or cleanly closed image) and New (pool + table in one call), all

@@ -1,0 +1,162 @@
+package core
+
+import (
+	"sync/atomic"
+
+	"dash/internal/hashfn"
+	"dash/internal/pmem"
+)
+
+// DRAM-resident directory cache. The PM directory block (directory.go) stays
+// the crash-consistent source of truth, but on the hot paths it is pure
+// overhead: every Get/Insert/Delete/Update used to pay three charged PM reads
+// (root pointer, directory depth, directory entry) plus two more for the
+// segment-header pattern check before touching a single bucket. All of that
+// state is reconstructible, so — following the paper's goal of a probe
+// costing ~one segment access (§4.3, §4.7) — a dirCache mirrors it in
+// ordinary Go memory:
+//
+//   - the global depth and the mirrored directory block's address,
+//   - one packed word per directory entry: the segment's 256-aligned PM
+//     address OR'd with its local depth in the low byte (the segment's
+//     pattern needs no slot of its own: pattern = entryIndex >> (global −
+//     local)). The hot route() path needs only the address; the mirrored
+//     local depth is what the coherence checks (and any future shape
+//     introspection) read without touching PM segment headers.
+//
+// Operations route through the cache first and touch PM metadata only to
+// validate (validateRoute) or repair (cacheRepair). Coherence is
+// write-through: split publish and directory doubling update the cache under
+// splitMu before the splitting segment's bucket locks are released, so the
+// cache is stale only while a structural change is in flight. Correctness
+// never depends on that freshness — a stale route can only produce a failed
+// validation (readers re-check against the PM directory before trusting a
+// miss; writers validate after locking, and a seqlock-stable positive hit is
+// valid wherever the route came from, because a key's record is physically
+// present only in segments the directory routes it to, the copy/sweep window
+// of a split being covered by the segment's bucket locks). A failed
+// validation falls back to the PM path via cacheRepair and retries.
+//
+// Open and Create build the cache with one O(directory) pass; nothing about
+// it is persisted.
+type dirCache struct {
+	// view is an immutable-shape snapshot: the entries slice is fixed at
+	// 2^depth and only ever swapped wholesale (doubling, rebuild). Entry
+	// values mutate in place through the atomics.
+	view atomic.Pointer[dirView]
+
+	// hits counts routes that served their operation (a seqlock-stable
+	// positive read, or a route validateRoute confirmed against PM);
+	// misses counts stale routes that forced a repair + retry. rebuilds
+	// counts full O(directory) reconstructions (Create, Open, and the
+	// belt-and-braces depth-mismatch path of cacheRepair).
+	hits     atomic.Uint64
+	misses   atomic.Uint64
+	rebuilds atomic.Uint64
+}
+
+type dirView struct {
+	depth   uint8
+	dir     pmem.Addr // the PM directory block this view mirrors
+	entries []atomic.Uint64
+}
+
+// entryDepthBits is the low-bit budget for the local depth packed into an
+// entry word; segment addresses are allocAlign-aligned so these bits are
+// always zero in the address.
+const entryDepthBits = allocAlign - 1
+
+func packEntry(seg pmem.Addr, local uint8) uint64 {
+	return uint64(seg) | uint64(local)
+}
+
+func unpackEntry(e uint64) (seg pmem.Addr, local uint8) {
+	return pmem.Addr(e &^ entryDepthBits), uint8(e & entryDepthBits)
+}
+
+// route returns the cached segment and local depth for the key's directory
+// slot. Pure DRAM: no PM traffic, no locks. The result may be stale while a
+// split or doubling is in flight; callers validate before trusting it.
+func (c *dirCache) route(parts hashfn.Parts) (seg pmem.Addr, local uint8) {
+	v := c.view.Load()
+	return unpackEntry(v.entries[parts.DirIndex(v.depth)].Load())
+}
+
+// cacheRebuild reconstructs the whole view from the PM directory in one
+// O(directory) pass — the Open/Create path, and the recovery path for a view
+// that no longer matches the PM directory's shape. Single-threaded callers
+// (Create, recover) call it directly; concurrent callers must hold splitMu
+// so the swap cannot race a doubling.
+func (t *Table) cacheRebuild() {
+	p := t.pool
+	dir := pmem.Addr(p.LoadU64(rootAddr.Add(rootOffDir)))
+	depth := dirDepth(p, dir)
+	n := uint64(1) << depth
+	v := &dirView{depth: depth, dir: dir, entries: make([]atomic.Uint64, n)}
+	depths := make(map[pmem.Addr]uint8)
+	for i := uint64(0); i < n; i++ {
+		seg := dirLoadEntry(p, dir, i)
+		l, ok := depths[seg]
+		if !ok {
+			l = segDepth(p, seg)
+			depths[seg] = l
+		}
+		v.entries[i].Store(packEntry(seg, l))
+	}
+	t.cache.view.Store(v)
+	t.cache.rebuilds.Add(1)
+}
+
+// cacheRepair refreshes the key's route from the PM directory after a failed
+// validation. It serializes on splitMu so it cannot race the write-through
+// of an in-flight split (and taking the mutex also means a repair naturally
+// waits out the structural change that made the route stale). If the view
+// no longer mirrors the current directory block — which write-through should
+// make impossible, but a cache poisoned by a bug or a test must still heal —
+// the whole view is rebuilt.
+func (t *Table) cacheRepair(parts hashfn.Parts) {
+	t.splitMu.Lock()
+	defer t.splitMu.Unlock()
+	p := t.pool
+	v := t.cache.view.Load()
+	dir := pmem.Addr(p.LoadU64(rootAddr.Add(rootOffDir)))
+	if dir != v.dir || dirDepth(p, dir) != v.depth {
+		t.cacheRebuild()
+		return
+	}
+	idx := parts.DirIndex(v.depth)
+	seg := dirLoadEntry(p, dir, idx)
+	v.entries[idx].Store(packEntry(seg, segDepth(p, seg)))
+}
+
+// cachePublishSplit write-through: mirror a completed split of the entry
+// range [start, start+span) — lower half keeps oldSeg, upper half routes to
+// newSeg, both now at newLocal. The caller holds splitMu and every bucket
+// lock of oldSeg, so this lands before any operation can observe the
+// post-split segment metadata.
+func (t *Table) cachePublishSplit(oldSeg, newSeg pmem.Addr, newLocal uint8, start, span uint64) {
+	v := t.cache.view.Load()
+	half := span >> 1
+	for i := start; i < start+half; i++ {
+		v.entries[i].Store(packEntry(oldSeg, newLocal))
+	}
+	for i := start + half; i < start+span; i++ {
+		v.entries[i].Store(packEntry(newSeg, newLocal))
+	}
+}
+
+// cacheDouble write-through: install the doubled view right after the PM
+// root pointer flipped to newDir. Every old entry is duplicated, preserving
+// each segment's packed local depth (doubling changes no segment's
+// coverage). The caller holds splitMu.
+func (t *Table) cacheDouble(newDir pmem.Addr) {
+	old := t.cache.view.Load()
+	n := uint64(len(old.entries))
+	v := &dirView{depth: old.depth + 1, dir: newDir, entries: make([]atomic.Uint64, 2*n)}
+	for i := uint64(0); i < n; i++ {
+		e := old.entries[i].Load()
+		v.entries[2*i].Store(e)
+		v.entries[2*i+1].Store(e)
+	}
+	t.cache.view.Store(v)
+}

@@ -6,6 +6,10 @@ import (
 
 // Directory layer (§4.3, §4.7). The directory is one PM block: a header
 // cacheline holding the global depth, followed by 2^depth segment pointers.
+// It is the crash-consistent source of truth for routing — written through
+// on every split publish and doubling, read back by recovery — but it is
+// not the hot path: operations route through the DRAM-resident mirror in
+// dircache.go and consult this block only to validate or repair a route.
 // Indexing uses the hash's most-significant bits, so all entries covering
 // one segment are contiguous — the property that lets a split publish its
 // new segment by flipping the upper half of a contiguous entry range, and

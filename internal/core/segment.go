@@ -40,6 +40,16 @@ func segPattern(p *pmem.Pool, seg pmem.Addr) uint64 {
 	return p.LoadU64(seg.Add(segOffPattern))
 }
 
+// segClaims reports whether seg's own header metadata claims key ownership:
+// the key's top `local depth` hash bits equal the segment's pattern. Because
+// the segments' (depth, pattern) pairs partition the hash space — and the
+// transient windows where they do not are covered by the segment's bucket
+// locks — a claiming segment is the directory owner of the key.
+func segClaims(p *pmem.Pool, seg pmem.Addr, parts hashfn.Parts) bool {
+	l := segDepth(p, seg)
+	return hashfn.SegmentIndex(parts.Hash, l) == segPattern(p, seg)
+}
+
 // segSetMeta updates local depth and pattern and persists the header line.
 func segSetMeta(p *pmem.Pool, seg pmem.Addr, depth uint8, pattern uint64) {
 	p.StoreU64(seg.Add(segOffDepth), uint64(depth))

@@ -34,26 +34,42 @@ type TableStats struct {
 	// AllocatedBytes is the PM consumed by the bump allocator (segments,
 	// directories, including retired-but-reusable blocks).
 	AllocatedBytes uint64
+
+	// DirCacheHits and DirCacheMisses count cached-route outcomes. A hit is
+	// a route that served its operation — either a seqlock-stable positive
+	// Get (trusted without consulting the PM directory; that skip is the
+	// point of the cache) or a route that validateRoute confirmed against
+	// PM (negative reads, writers after locking). A miss is a stale route
+	// caught by a failed validation, forcing a repair + retry.
+	DirCacheHits, DirCacheMisses uint64
+	// DirCacheHitRate is DirCacheHits over all route outcomes (1 when
+	// idle). Counters are cumulative since Create/Open; windowed consumers
+	// (internal/bench) subtract a baseline snapshot.
+	DirCacheHitRate float64
+	// DirCacheRebuilds counts full O(directory) cache reconstructions
+	// (Create/Open plus any recovery rebuild; doublings are not rebuilds).
+	DirCacheRebuilds uint64
+	// DirCacheBytes approximates the cache's DRAM footprint: 8 bytes per
+	// directory entry.
+	DirCacheBytes uint64
 }
 
-// Stats walks the directory and every segment's bucket headers and returns
-// the table's shape. It runs under an epoch guard like every directory
-// traversal, uses quiet (unaccounted) loads so observing the table does not
-// perturb the PM-traffic counters or the cost model mid-benchmark, and takes
-// no locks.
+// Stats walks the DRAM directory cache for the segment set — observing the
+// shape costs no PM directory traffic at all — and every segment's bucket
+// headers via quiet (unaccounted) loads, so observing the table does not
+// perturb the PM-traffic counters or the cost model mid-benchmark. It takes
+// no locks; the epoch guard keeps the walk well-defined against concurrent
+// structural changes.
 func (t *Table) Stats() TableStats {
 	g := t.em.Enter()
 	defer g.Exit()
 	p := t.pool
 
-	dir := pmem.Addr(p.QuietLoadU64(rootAddr.Add(rootOffDir)))
-	depth := uint8(p.QuietLoadU64(dir.Add(dirOffDepth)))
-	n := uint64(1) << depth
-
+	v := t.cache.view.Load()
 	seen := make(map[pmem.Addr]bool)
 	var walked, stash int64
-	for i := uint64(0); i < n; i++ {
-		seg := pmem.Addr(p.QuietLoadU64(dirEntryAddr(dir, i)))
+	for i := range v.entries {
+		seg, _ := unpackEntry(v.entries[i].Load())
 		if seg.IsNull() || seen[seg] {
 			continue
 		}
@@ -68,13 +84,22 @@ func (t *Table) Stats() TableStats {
 		}
 	}
 
+	hits, misses := t.cache.hits.Load(), t.cache.misses.Load()
 	st := TableStats{
-		Count:          t.count.Load(),
-		GlobalDepth:    depth,
-		Segments:       len(seen),
-		SlotCapacity:   int64(len(seen)) * slotsPerSegment,
-		StashRecords:   stash,
-		AllocatedBytes: p.QuietLoadU64(rootAddr.Add(rootOffAllocNxt)) - allocStart,
+		Count:            t.count.Load(),
+		GlobalDepth:      v.depth,
+		Segments:         len(seen),
+		SlotCapacity:     int64(len(seen)) * slotsPerSegment,
+		StashRecords:     stash,
+		AllocatedBytes:   p.QuietLoadU64(rootAddr.Add(rootOffAllocNxt)) - allocStart,
+		DirCacheHits:     hits,
+		DirCacheMisses:   misses,
+		DirCacheHitRate:  1,
+		DirCacheRebuilds: t.cache.rebuilds.Load(),
+		DirCacheBytes:    8 * uint64(len(v.entries)),
+	}
+	if hits+misses > 0 {
+		st.DirCacheHitRate = float64(hits) / float64(hits+misses)
 	}
 	if st.SlotCapacity > 0 {
 		st.LoadFactor = float64(st.Count) / float64(st.SlotCapacity)

@@ -4,7 +4,6 @@ import (
 	"errors"
 	"fmt"
 	"math/bits"
-	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -19,18 +18,24 @@ import (
 // with a crash-consistent three-step publish, and post-crash recovery.
 //
 // Concurrency protocol:
-//   - Readers are optimistic and lock-free: resolve directory → segment,
-//     scan buckets under seqlock version validation, and revalidate the
-//     directory entry before concluding "not found". Every operation runs
-//     inside an epoch guard so a retired directory block is never recycled
-//     under a reader still traversing it.
+//   - Every operation routes key → segment through the DRAM directory cache
+//     (dircache.go); the PM directory is consulted only to validate a route
+//     or repair a stale one. Every operation runs inside an epoch guard so a
+//     retired directory block is never recycled under a reader still
+//     traversing it.
+//   - Readers are optimistic and lock-free: scan buckets under seqlock
+//     version validation, and revalidate the route against the PM directory
+//     before concluding "not found". A seqlock-stable positive hit needs no
+//     revalidation (see dircache.go).
 //   - Writers lock only the key's two candidate buckets (plus stash /
 //     displacement buckets, in a fixed deadlock-free order), then revalidate
-//     the directory entry and the segment's pattern before mutating.
+//     the route and the segment's pattern before mutating.
 //   - Structural changes (segment split, directory doubling) serialize on
 //     one table-wide mutex and take every bucket lock of the splitting
 //     segment, excluding writers; readers are invalidated by the version
-//     bumps when the locks release.
+//     bumps when the locks release. Both update the directory cache before
+//     those locks release, so a cached route is stale only while the
+//     structural change is in flight.
 
 // Root block layout, at the first usable cacheline of the pool.
 const (
@@ -74,6 +79,10 @@ type Table struct {
 	pool *pmem.Pool
 	em   *epoch.Manager
 	seed uint64
+
+	// cache is the DRAM-resident mirror of the PM directory (dircache.go),
+	// the first stop of every operation's key → segment routing.
+	cache dirCache
 
 	// splitMu serializes structural changes: segment splits and the
 	// directory doublings they trigger.
@@ -135,6 +144,7 @@ func Create(pool *pmem.Pool, opt Options) (*Table, error) {
 	// Magic last: its persist is the commit point of formatting.
 	p.WriteU64(rootAddr.Add(rootOffMagic), tableMagic)
 	p.Persist(rootAddr, pmem.CachelineSize)
+	t.cacheRebuild()
 	return t, nil
 }
 
@@ -177,13 +187,11 @@ func (t *Table) Pool() *pmem.Pool { return t.pool }
 // Count returns the number of live records.
 func (t *Table) Count() int64 { return t.count.Load() }
 
-// GlobalDepth returns the directory's current global depth. Like every
-// directory traversal it runs under an epoch guard so a concurrently retired
-// directory block cannot be recycled mid-read.
+// GlobalDepth returns the directory's current global depth, read from the
+// DRAM directory cache (exact: doublings swap the cached view before the
+// split that triggered them publishes anything).
 func (t *Table) GlobalDepth() uint8 {
-	g := t.em.Enter()
-	defer g.Exit()
-	return dirDepth(t.pool, pmem.Addr(t.pool.LoadU64(rootAddr.Add(rootOffDir))))
+	return t.cache.view.Load().depth
 }
 
 // Close drains the epoch manager. The pool remains usable and reopenable.
@@ -228,9 +236,10 @@ func (t *Table) parts(key uint64) hashfn.Parts {
 	return hashfn.Split(hashfn.HashU64(key, t.seed))
 }
 
-// resolve walks directory → segment for a key under the current global
-// depth. Both loads are atomic; a torn view across a concurrent split is
-// caught by validate or by the segment-pattern check.
+// resolve walks the PM directory → segment for a key under the current
+// global depth: the authoritative (and charged) route, used by the split
+// slow path and by validateRoute. Both loads are atomic; a torn view across
+// a concurrent split is caught by the segment-pattern check.
 func (t *Table) resolve(parts hashfn.Parts) (dir, seg pmem.Addr) {
 	dir = pmem.Addr(t.pool.LoadU64(rootAddr.Add(rootOffDir)))
 	g := dirDepth(t.pool, dir)
@@ -238,16 +247,18 @@ func (t *Table) resolve(parts hashfn.Parts) (dir, seg pmem.Addr) {
 	return dir, seg
 }
 
-// validate re-resolves the key and checks that (a) the directory still routes
-// it to seg and (b) seg's own pattern claims the key. Writers call it after
-// taking bucket locks; readers call it before trusting a negative search.
-func (t *Table) validate(parts hashfn.Parts, dir, seg pmem.Addr) bool {
-	dir2, seg2 := t.resolve(parts)
-	if dir2 != dir || seg2 != seg {
+// validateRoute checks a (typically cache-provided) route against PM truth:
+// (a) the PM directory still routes the key to seg and (b) seg's own pattern
+// claims the key. Writers call it after taking bucket locks; readers call it
+// before trusting a negative search. The pattern check carries the
+// correctness: during a split's publish window the directory entry and the
+// old segment's metadata change under the segment's bucket locks, so any
+// operation that got past those locks sees them reconciled.
+func (t *Table) validateRoute(parts hashfn.Parts, seg pmem.Addr) bool {
+	if _, cur := t.resolve(parts); cur != seg {
 		return false
 	}
-	l := segDepth(t.pool, seg)
-	return hashfn.SegmentIndex(parts.Hash, l) == segPattern(t.pool, seg)
+	return segClaims(t.pool, seg, parts)
 }
 
 // Insert adds key → value. It fails with ErrKeyExists if the key is present
@@ -260,12 +271,15 @@ func (t *Table) Insert(key, value uint64) error {
 	b := int(parts.BucketIndex(bucketBits))
 	b2 := (b + 1) % normalBuckets
 	for {
-		dir, seg := t.resolve(parts)
+		seg, _ := t.cache.route(parts)
 		lockPair(p, seg, b, b2)
-		if !t.validate(parts, dir, seg) {
+		if !t.validateRoute(parts, seg) {
 			unlockPair(p, seg, b, b2)
+			t.cache.misses.Add(1)
+			t.cacheRepair(parts)
 			continue
 		}
+		t.cache.hits.Add(1)
 		if _, found := segFindLocked(p, seg, parts, key); found {
 			unlockPair(p, seg, b, b2)
 			return ErrKeyExists
@@ -282,27 +296,30 @@ func (t *Table) Insert(key, value uint64) error {
 	}
 }
 
-// Get returns the value stored under key. Lock-free: a found record under a
-// stable bucket version is immediately valid (segments are never reclaimed),
-// while a miss is trusted only after the directory revalidates.
+// Get returns the value stored under key. Lock-free, and on the hot path
+// free of PM metadata traffic: the route comes from the DRAM directory
+// cache, and a found record under a stable bucket version is immediately
+// valid (segments are never reclaimed, and a key's record is physically
+// present only in segments that route to it — see dircache.go). A miss is
+// trusted only after the route revalidates against the PM directory; a
+// stale route instead repairs the cache and retries.
 func (t *Table) Get(key uint64) (uint64, bool) {
 	g := t.em.Enter()
 	defer g.Exit()
 	p := t.pool
 	parts := t.parts(key)
 	for {
-		dir, seg := t.resolve(parts)
-		l := segDepth(p, seg)
-		if hashfn.SegmentIndex(parts.Hash, l) != segPattern(p, seg) {
-			runtime.Gosched() // torn view mid-split; retry
-			continue
-		}
+		seg, _ := t.cache.route(parts)
 		if val, found := segSearchOpt(p, seg, parts, key); found {
+			t.cache.hits.Add(1)
 			return val, true
 		}
-		if t.validate(parts, dir, seg) {
+		if t.validateRoute(parts, seg) {
+			t.cache.hits.Add(1)
 			return 0, false
 		}
+		t.cache.misses.Add(1)
+		t.cacheRepair(parts)
 	}
 }
 
@@ -315,12 +332,15 @@ func (t *Table) Delete(key uint64) bool {
 	b := int(parts.BucketIndex(bucketBits))
 	b2 := (b + 1) % normalBuckets
 	for {
-		dir, seg := t.resolve(parts)
+		seg, _ := t.cache.route(parts)
 		lockPair(p, seg, b, b2)
-		if !t.validate(parts, dir, seg) {
+		if !t.validateRoute(parts, seg) {
 			unlockPair(p, seg, b, b2)
+			t.cache.misses.Add(1)
+			t.cacheRepair(parts)
 			continue
 		}
+		t.cache.hits.Add(1)
 		loc, found := segFindLocked(p, seg, parts, key)
 		if found {
 			segDeleteAt(p, seg, parts, loc, true)
@@ -341,12 +361,15 @@ func (t *Table) Update(key, value uint64) bool {
 	b := int(parts.BucketIndex(bucketBits))
 	b2 := (b + 1) % normalBuckets
 	for {
-		dir, seg := t.resolve(parts)
+		seg, _ := t.cache.route(parts)
 		lockPair(p, seg, b, b2)
-		if !t.validate(parts, dir, seg) {
+		if !t.validateRoute(parts, seg) {
 			unlockPair(p, seg, b, b2)
+			t.cache.misses.Add(1)
+			t.cacheRepair(parts)
 			continue
 		}
+		t.cache.hits.Add(1)
 		loc, found := segFindLocked(p, seg, parts, key)
 		if found {
 			ra := recordAddr(segBucket(seg, loc.bucket), loc.slot)
@@ -401,6 +424,7 @@ func (t *Table) split(parts hashfn.Parts, oldSeg pmem.Addr) error {
 		t.em.Retire(func() { t.freePush(old, oldSize) })
 		dir = newDir
 		g++
+		t.cacheDouble(newDir)
 	}
 
 	newSeg, err := t.alloc(segmentSize)
@@ -433,6 +457,9 @@ func (t *Table) split(parts hashfn.Parts, oldSeg pmem.Addr) error {
 	segSweep(p, oldSeg, t.seed, func(rp hashfn.Parts, _ pmem.KV) bool {
 		return rp.DepthBit(l)
 	})
+	// Write-through before the deferred bucket unlocks: once writers can get
+	// past the locks, the cache already routes the moved half to newSeg.
+	t.cachePublishSplit(oldSeg, newSeg, l+1, start, span)
 	return nil
 }
 
@@ -553,6 +580,9 @@ func (t *Table) recover() error {
 		total += int64(segCount(p, seg))
 	}
 	t.count.Store(total)
+	// The PM image is reconciled; mirror it into the DRAM directory cache
+	// with one O(directory) pass.
+	t.cacheRebuild()
 	return nil
 }
 

@@ -1,11 +1,47 @@
-// Package hashfn provides the 64-bit hash used throughout the repository.
+// Package hashfn provides the 64-bit hash used throughout the repository,
+// and — through Parts — the single authoritative split of that value's bits
+// among the layers of the Dash-EH engine.
 //
 // The paper uses GCC's std::_Hash_bytes, which is MurmurHash-derived; this
 // package implements MurmurHash64A, the same family, giving uniform
-// high-quality 64-bit values. Dash consumes the value three ways (§4):
-// the least-significant byte is the fingerprint, the next bits select the
-// bucket within a segment, and the most-significant bits index the segment
-// directory.
+// high-quality 64-bit values. Dash consumes one hash value three ways (§4),
+// each consumer drawing from a different bit range so the three uses are
+// independent:
+//
+//		bit 63 ──────────────────────────────────────────────── bit 0
+//		[ directory index ]............[ bucket index ][ fingerprint ]
+//		  top `depth` bits               bits 8..8+B-1     bits 0..7
+//
+//	  - Fingerprint — the least-significant byte (bits 0..7). Stored in the
+//	    bucket header and compared before any record dereference, so a probe
+//	    touches a record's PM only on a 1/256 false-positive or a true hit.
+//	  - Bucket index — the B bits directly above the fingerprint (bits
+//	    8..8+B-1 for a segment with 2^B normal buckets; B = 6 in core).
+//	  - Directory index — the most-significant `global depth` bits (the
+//	    paper's §4.7 MSB scheme). MSB indexing keeps all directory entries
+//	    covering one segment contiguous, which is what lets a split publish
+//	    its new segment by flipping the upper half of a contiguous entry
+//	    range, and lets a doubling duplicate entries pairwise.
+//
+// # Worked example
+//
+// Take h = Hash(k) = 0xC2A7_3F19_0000_54D6 with global depth 4 and 64
+// buckets per segment (B = 6):
+//
+//		h = 1100 0010 1010 0111 0011 1111 0001 1001 ... 0101 0100 1101 0110
+//		    ^^^^ directory                               ..54D6 = low bits
+//
+//	  - Fingerprint(h) = 0xD6 (the low byte).
+//	  - BucketIndex(6) = (h >> 8) & 0x3F = 0x54 & 0x3F = 0x14 = bucket 20,
+//	    with bucket 21 as the balanced-insert/probing neighbor.
+//	  - DirIndex(4) = h >> 60 = 0xC = entry 12 of the 16-entry directory.
+//
+// If the segment at entry 12 has local depth 2, its pattern is the top 2
+// bits, 0b11 = 3, and that segment owns directory entries 12..15. When it
+// splits, keys follow DepthBit(2) — the third bit counted from the MSB end,
+// i.e. LSB-numbered bit 61, here 0 — so this key stays in the old segment
+// (new pattern 0b110, entries 12..13) rather than moving to the sibling
+// (pattern 0b111, entries 14..15).
 package hashfn
 
 import "encoding/binary"

@@ -7,6 +7,13 @@ import "sync/atomic"
 // discipline: structure code accounts a line once (TouchRead/TouchWrite or
 // an accounted accessor) and then may touch the rest of that line quietly,
 // mirroring how the CPU cache absorbs repeated accesses to a hot line.
+// They are also the right tool for observers (stats walks, tests, debug
+// dumps) that must not perturb an experiment's traffic counters. They are
+// NOT a way to make a hot path look cheap: metadata that a data structure
+// reads on every operation should either pay per access or be mirrored in
+// DRAM outright (see internal/core's directory cache for the pattern),
+// keeping the charged counters an honest model of what real hardware would
+// fetch from the DIMMs.
 //
 // Quiet writes still participate in crash tracking — a store is a store,
 // whatever it costs — so crash tests remain sound. As in access.go, the
