@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet build test race ci fmt-check docs-check bench bench-smoke
+.PHONY: all vet build test race ci fmt-check docs-check bench bench-smoke bench-gate
 
 all: ci
 
@@ -48,13 +48,21 @@ bench-smoke:
 		-ops 8000 -warmup 800 -keyspace 8192 -scale 0 \
 		-out $${TMPDIR:-/tmp}/BENCH_smoke.json
 
+# bench-gate is the perf-regression gate: one fixed seeded insert cell under
+# the full cost model, checked against the thresholds committed in
+# bench-gate.json (tail latency, PM traffic per op, load-factor floor).
+# Fails the build when a tracked metric regresses past them; update the
+# thresholds in the same PR as an intentional perf change.
+bench-gate:
+	$(GO) run ./cmd/benchgate -config bench-gate.json
+
 # bench is the real measurement matrix (core mix suite × 1..8 threads under
-# the full Optane cost model) and writes the trajectory file BENCH_pr3.json.
+# the full Optane cost model) and writes the trajectory file BENCH_pr4.json.
 bench:
 	$(GO) run ./cmd/dashbench -threads 8 -ops 100000 -keyspace 100000 \
-		-out BENCH_pr3.json
+		-out BENCH_pr4.json
 
 # ci is the gate every change must pass: vet, build, the full test suite
 # under the race detector (the concurrency tests rely on it), the docs
-# lint, and the benchmark pipeline smoke.
-ci: fmt-check vet build race docs-check bench-smoke
+# lint, the benchmark pipeline smoke, and the perf-regression gate.
+ci: fmt-check vet build race docs-check bench-smoke bench-gate

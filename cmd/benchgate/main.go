@@ -1,0 +1,129 @@
+// Command benchgate is the perf-regression gate wired into `make ci` and
+// the hosted CI workflow. It runs one fixed, seeded benchmark cell (small
+// enough for seconds-long CI runs, with the full Optane cost model so PM
+// traffic has a price) and fails — exit status 1 — when a tracked metric
+// regresses past the thresholds committed in bench-gate.json.
+//
+// The thresholds guard the tail-latency and write-traffic wins this repo
+// has banked: p999 and max insert latency (the segment-split stall story)
+// and PM write bytes per op (the persist-batching story), plus a load
+// factor floor so neither can be bought by splitting early. Latency
+// thresholds carry deliberate headroom over locally measured values —
+// shared CI runners are noisy and the cost model charges wall-clock spins —
+// while the per-op traffic thresholds are tight, because they are nearly
+// deterministic. Update bench-gate.json in the same PR as an intentional
+// perf change, with the new measurement in the PR description.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime/debug"
+
+	"dash/internal/bench"
+	"dash/internal/pmem"
+	"dash/internal/workload"
+)
+
+type gateFile struct {
+	Description string `json:"description"`
+	Config      struct {
+		Mix       string  `json:"mix"`
+		Threads   int     `json:"threads"`
+		Ops       int64   `json:"ops"`
+		WarmupOps int64   `json:"warmup_ops"`
+		Keyspace  uint64  `json:"keyspace"`
+		Theta     float64 `json:"theta"`
+		Seed      uint64  `json:"seed"`
+		Scale     int64   `json:"scale"`
+	} `json:"config"`
+	Thresholds struct {
+		P999NSMax            int64   `json:"p999_ns_max"`
+		MaxNSMax             int64   `json:"max_ns_max"`
+		PMWriteBytesPerOpMax float64 `json:"pm_write_bytes_per_op_max"`
+		PMReadBytesPerOpMax  float64 `json:"pm_read_bytes_per_op_max"`
+		LoadFactorMin        float64 `json:"load_factor_min"`
+	} `json:"thresholds"`
+}
+
+func main() {
+	cfgPath := flag.String("config", "bench-gate.json", "gate config + thresholds")
+	flag.Parse()
+
+	// Same GC pacing as dashbench: the gated tail quantiles must measure
+	// the table, not the simulator's GC mark assists (see cmd/dashbench).
+	debug.SetGCPercent(1000)
+
+	data, err := os.ReadFile(*cfgPath)
+	if err != nil {
+		fatal(err)
+	}
+	var gf gateFile
+	if err := json.Unmarshal(data, &gf); err != nil {
+		fatal(fmt.Errorf("parse %s: %w", *cfgPath, err))
+	}
+	mix, ok := workload.MixByName(gf.Config.Mix)
+	if !ok {
+		fatal(fmt.Errorf("unknown mix %q in %s", gf.Config.Mix, *cfgPath))
+	}
+
+	cfg := bench.Config{
+		Threads:   gf.Config.Threads,
+		Ops:       gf.Config.Ops,
+		WarmupOps: gf.Config.WarmupOps,
+		Keyspace:  gf.Config.Keyspace,
+		Theta:     gf.Config.Theta,
+		Mix:       mix,
+		Seed:      gf.Config.Seed,
+	}
+	if gf.Config.Scale > 0 {
+		cfg.Model = pmem.ScaledOptane(gf.Config.Scale)
+	}
+	fmt.Printf("benchgate: mix %s, %d threads, %d ops, keyspace %d, seed %d, scale %d\n",
+		mix.Name, cfg.Threads, cfg.Ops, cfg.Keyspace, cfg.Seed, gf.Config.Scale)
+
+	res, err := bench.Run(cfg)
+	if err != nil {
+		fatal(err)
+	}
+
+	th := gf.Thresholds
+	failed := false
+	check := func(name string, got, max float64, tighter string) {
+		status := "ok  "
+		if max > 0 && got > max {
+			status = "FAIL"
+			failed = true
+		}
+		fmt.Printf("  %s %-26s %12.1f  (threshold %s %.1f)\n", status, name, got, tighter, max)
+	}
+	check("p999 insert latency ns", float64(res.P999NS), float64(th.P999NSMax), "<=")
+	check("max insert latency ns", float64(res.MaxNS), float64(th.MaxNSMax), "<=")
+	check("PM write bytes/op", res.WriteBytesPerOp, th.PMWriteBytesPerOpMax, "<=")
+	check("PM read bytes/op", res.ReadBytesPerOp, th.PMReadBytesPerOpMax, "<=")
+	if th.LoadFactorMin > 0 {
+		status := "ok  "
+		if res.Table.LoadFactor < th.LoadFactorMin {
+			status = "FAIL"
+			failed = true
+		}
+		fmt.Printf("  %s %-26s %12.2f  (threshold >= %.2f)\n", status, "load factor", res.Table.LoadFactor, th.LoadFactorMin)
+	}
+	fmt.Printf("  info splits=%d stall_ms=%.2f assists=%d overflows=%d\n",
+		res.Table.Splits, float64(res.Table.SplitStallNS)/1e6,
+		res.Table.SplitAssists, res.Counts.InsertOverflow)
+
+	if failed {
+		fmt.Println("benchgate: FAIL — perf regression past committed thresholds " +
+			"(if intentional, update bench-gate.json in this PR and explain why)")
+		os.Exit(1)
+	}
+	fmt.Println("benchgate: PASS")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchgate:", err)
+	os.Exit(1)
+}

@@ -133,18 +133,32 @@ func tryLockBucket(p *pmem.Pool, b pmem.Addr) bool {
 // unlockBucket releases the lock and advances the version so that any
 // optimistic reader whose scan overlapped the critical section retries. The
 // lock word is deliberately never flushed: it is DRAM-meaning state that
-// recovery resets wholesale after a crash.
+// recovery resets wholesale after a crash. The store is quiet: the
+// acquisition CAS charged the header line, which stays cache-hot for the
+// whole critical section (write-side one-charge-per-line).
 func unlockBucket(p *pmem.Pool, b pmem.Addr) {
 	va := b.Add(bkOffVersion)
-	p.StoreU64(va, p.QuietLoadU64(va)+1)
+	p.QuietStoreU64(va, p.QuietLoadU64(va)+1)
 }
 
 // --- writer-side operations; the caller holds the bucket's lock ---
+//
+// Header words (meta, fingerprints) are accessed quietly throughout this
+// section, reads and writes alike: the caller's lock acquisition CAS'd the
+// version word, paying for the header cacheline once, and the line stays
+// cache-hot until the unlock — real hardware absorbs the remaining header
+// accesses and writes the line back once (one-charge-per-line; see
+// pmem/quiet.go). Each record's first store still pays for its record
+// line, as does every record-line dereference, and all flush/fence charges
+// are untouched, so per-op media traffic remains honestly counted.
+// (Recovery also calls some of these without holding locks; it is
+// single-threaded and unbenchmarked, so the accounting shortfall there is
+// irrelevant.)
 
 // bucketFindLocked probes fingerprint-first: only slots whose one-byte
 // fingerprint matches are dereferenced, bounding PM reads per probe (§4.1).
 func bucketFindLocked(p *pmem.Pool, b pmem.Addr, fp uint8, key uint64) int {
-	m := p.LoadU64(b.Add(bkOffMeta))
+	m := p.QuietLoadU64(b.Add(bkOffMeta))
 	lo := p.QuietLoadU64(b.Add(bkOffFPLo))
 	hi := p.QuietLoadU64(b.Add(bkOffFPHi))
 	for slot := 0; slot < slotsPerBucket; slot++ {
@@ -159,7 +173,7 @@ func bucketFindLocked(p *pmem.Pool, b pmem.Addr, fp uint8, key uint64) int {
 }
 
 func bucketFreeSlots(p *pmem.Pool, b pmem.Addr) int {
-	return metaFreeSlots(p.LoadU64(b.Add(bkOffMeta)))
+	return metaFreeSlots(p.QuietLoadU64(b.Add(bkOffMeta)))
 }
 
 // bucketInsertLocked writes the record, persists it, and only then publishes
@@ -167,65 +181,109 @@ func bucketFreeSlots(p *pmem.Pool, b pmem.Addr) int {
 // single atomic bitmap store is the commit point: a crash before the header
 // line is flushed leaves the slot invisible, a crash after leaves the whole
 // record durable (§4.1 insert ordering).
-func bucketInsertLocked(p *pmem.Pool, b pmem.Addr, fp uint8, kv pmem.KV) bool {
-	m := p.LoadU64(b.Add(bkOffMeta))
+//
+// persist=false skips both persists: the mode for building an *unpublished*
+// split sibling, whose durability comes from one whole-segment flush+fence
+// right before the directory publishes it — a crash before that point rolls
+// the whole sibling back, so nothing written into it needs individual
+// ordering.
+func bucketInsertLocked(p *pmem.Pool, b pmem.Addr, fp uint8, kv pmem.KV, persist bool) bool {
+	m := p.QuietLoadU64(b.Add(bkOffMeta))
 	slot := metaFirstFree(m)
 	if slot < 0 {
 		return false
 	}
 	ra := recordAddr(b, slot)
-	p.WriteKV(ra, kv)
-	p.PersistKV(ra)
+	// Value first, then key (a torn observation under a stale version never
+	// pairs the new key with the old value); the first store pays for the
+	// record's cacheline, the second shares it (records are 16-aligned and
+	// never straddle a line). In persist=false mode — building an
+	// unpublished split sibling — even the first store is quiet: the
+	// sibling's lines are charged wholesale by the publish's one
+	// flush+fence per line, which is also when they actually reach media.
+	if persist {
+		p.StoreU64(ra.Add(8), kv.Value)
+	} else {
+		p.QuietStoreU64(ra.Add(8), kv.Value)
+	}
+	p.QuietStoreU64(ra, kv.Key)
+	if persist {
+		p.PersistKV(ra)
+	}
 	lo := p.QuietLoadU64(b.Add(bkOffFPLo))
 	hi := p.QuietLoadU64(b.Add(bkOffFPHi))
 	lo, hi = fpSet(lo, hi, slot, fp)
-	p.StoreU64(b.Add(bkOffFPLo), lo)
-	p.StoreU64(b.Add(bkOffFPHi), hi)
-	p.StoreU64(b.Add(bkOffMeta), metaSetSlot(m, slot))
+	p.QuietStoreU64(b.Add(bkOffFPLo), lo)
+	p.QuietStoreU64(b.Add(bkOffFPHi), hi)
+	p.QuietStoreU64(b.Add(bkOffMeta), metaSetSlot(m, slot))
 	// Meta and fingerprint words share the bucket's first cacheline, so one
 	// flush makes the publish atomic at crash granularity.
-	p.Persist(b.Add(bkOffMeta), 24)
+	if persist {
+		p.Persist(b.Add(bkOffMeta), 24)
+	}
 	return true
 }
 
 // bucketDeleteLocked unpublishes a slot. Clearing the bitmap bit is the
 // whole operation; the record bytes and fingerprint become dead.
-func bucketDeleteLocked(p *pmem.Pool, b pmem.Addr, slot int) {
-	m := p.LoadU64(b.Add(bkOffMeta))
-	p.StoreU64(b.Add(bkOffMeta), metaClearSlot(m, slot))
-	p.Persist(b.Add(bkOffMeta), 8)
+// persist=false is for unpublished split siblings (see bucketInsertLocked).
+func bucketDeleteLocked(p *pmem.Pool, b pmem.Addr, slot int, persist bool) {
+	m := p.QuietLoadU64(b.Add(bkOffMeta))
+	p.QuietStoreU64(b.Add(bkOffMeta), metaClearSlot(m, slot))
+	if persist {
+		p.Persist(b.Add(bkOffMeta), 8)
+	}
 }
 
 // bucketTrackOverflow records in the home bucket that one of its keys went
 // to stash bucket stashIdx: precisely (fingerprint + stash index) while a
 // tracking slot is free, otherwise by bumping the overflow count.
-func bucketTrackOverflow(p *pmem.Pool, b pmem.Addr, fp uint8, stashIdx int) {
-	m := p.LoadU64(b.Add(bkOffMeta))
+// persist=false is for unpublished split siblings (see bucketInsertLocked).
+func bucketTrackOverflow(p *pmem.Pool, b pmem.Addr, fp uint8, stashIdx int, persist bool) {
+	m := p.QuietLoadU64(b.Add(bkOffMeta))
 	for i := 0; i < maxOvSlots; i++ {
 		if metaOvSlotUsed(m, i) {
 			continue
 		}
 		hi := p.QuietLoadU64(b.Add(bkOffFPHi))
-		p.StoreU64(b.Add(bkOffFPHi), ovIdxSet(hi, i, stashIdx))
-		p.StoreU64(b.Add(bkOffMeta), metaSetOvFP(m, i, fp))
-		p.Persist(b.Add(bkOffMeta), 24)
+		p.QuietStoreU64(b.Add(bkOffFPHi), ovIdxSet(hi, i, stashIdx))
+		p.QuietStoreU64(b.Add(bkOffMeta), metaSetOvFP(m, i, fp))
+		if persist {
+			p.Persist(b.Add(bkOffMeta), 24)
+		}
 		return
 	}
-	p.StoreU64(b.Add(bkOffMeta), metaAddOvCount(m, +1))
-	p.Persist(b.Add(bkOffMeta), 8)
+	p.QuietStoreU64(b.Add(bkOffMeta), metaAddOvCount(m, +1))
+	if persist {
+		p.Persist(b.Add(bkOffMeta), 8)
+	}
 }
 
 // bucketUntrackOverflow undoes bucketTrackOverflow for a record leaving the
 // stash: trackedSlot names the tracking slot when the record was tracked,
 // or -1 when it was only counted.
-func bucketUntrackOverflow(p *pmem.Pool, b pmem.Addr, trackedSlot int) {
-	m := p.LoadU64(b.Add(bkOffMeta))
+// persist=false is for unpublished split siblings (see bucketInsertLocked).
+func bucketUntrackOverflow(p *pmem.Pool, b pmem.Addr, trackedSlot int, persist bool) {
+	m := p.QuietLoadU64(b.Add(bkOffMeta))
 	if trackedSlot >= 0 {
-		p.StoreU64(b.Add(bkOffMeta), metaClearOvFP(m, trackedSlot))
+		p.QuietStoreU64(b.Add(bkOffMeta), metaClearOvFP(m, trackedSlot))
 	} else {
-		p.StoreU64(b.Add(bkOffMeta), metaAddOvCount(m, -1))
+		p.QuietStoreU64(b.Add(bkOffMeta), metaAddOvCount(m, -1))
 	}
-	p.Persist(b.Add(bkOffMeta), 8)
+	if persist {
+		p.Persist(b.Add(bkOffMeta), 8)
+	}
+}
+
+// metaFindTracked is the pure form of findTrackedSlot: the tracking slot in
+// the given header words matching (fingerprint, stash index), or -1.
+func metaFindTracked(m, hi uint64, fp uint8, stashIdx int) int {
+	for i := 0; i < maxOvSlots; i++ {
+		if metaOvSlotUsed(m, i) && metaOvFP(m, i) == fp && ovIdxGet(hi, i) == stashIdx {
+			return i
+		}
+	}
+	return -1
 }
 
 // findTrackedSlot returns the home bucket's tracking slot matching
@@ -233,12 +291,7 @@ func bucketUntrackOverflow(p *pmem.Pool, b pmem.Addr, trackedSlot int) {
 func findTrackedSlot(p *pmem.Pool, b pmem.Addr, fp uint8, stashIdx int) int {
 	m := p.QuietLoadU64(b.Add(bkOffMeta))
 	hi := p.QuietLoadU64(b.Add(bkOffFPHi))
-	for i := 0; i < maxOvSlots; i++ {
-		if metaOvSlotUsed(m, i) && metaOvFP(m, i) == fp && ovIdxGet(hi, i) == stashIdx {
-			return i
-		}
-	}
-	return -1
+	return metaFindTracked(m, hi, fp, stashIdx)
 }
 
 // --- reader-side operation: optimistic, lock-free ---

@@ -27,7 +27,7 @@ import (
 // Operations route through the cache first and touch PM metadata only to
 // validate (validateRoute) or repair (cacheRepair). Coherence is
 // write-through: split publish and directory doubling update the cache under
-// splitMu before the splitting segment's bucket locks are released, so the
+// dirMu before the splitting segment's bucket locks are released, so the
 // cache is stale only while a structural change is in flight. Correctness
 // never depends on that freshness — a stale route can only produce a failed
 // validation (readers re-check against the PM directory before trusting a
@@ -85,7 +85,7 @@ func (c *dirCache) route(parts hashfn.Parts) (seg pmem.Addr, local uint8) {
 // cacheRebuild reconstructs the whole view from the PM directory in one
 // O(directory) pass — the Open/Create path, and the recovery path for a view
 // that no longer matches the PM directory's shape. Single-threaded callers
-// (Create, recover) call it directly; concurrent callers must hold splitMu
+// (Create, recover) call it directly; concurrent callers must hold dirMu
 // so the swap cannot race a doubling.
 func (t *Table) cacheRebuild() {
 	p := t.pool
@@ -108,15 +108,15 @@ func (t *Table) cacheRebuild() {
 }
 
 // cacheRepair refreshes the key's route from the PM directory after a failed
-// validation. It serializes on splitMu so it cannot race the write-through
-// of an in-flight split (and taking the mutex also means a repair naturally
-// waits out the structural change that made the route stale). If the view
-// no longer mirrors the current directory block — which write-through should
-// make impossible, but a cache poisoned by a bug or a test must still heal —
-// the whole view is rebuilt.
+// validation. It serializes on dirMu so it cannot race the write-through
+// of an in-flight split publish or doubling (and taking the mutex also means
+// a repair naturally waits out the directory change that made the route
+// stale). If the view no longer mirrors the current directory block — which
+// write-through should make impossible, but a cache poisoned by a bug or a
+// test must still heal — the whole view is rebuilt.
 func (t *Table) cacheRepair(parts hashfn.Parts) {
-	t.splitMu.Lock()
-	defer t.splitMu.Unlock()
+	t.dirMu.Lock()
+	defer t.dirMu.Unlock()
 	p := t.pool
 	v := t.cache.view.Load()
 	dir := pmem.Addr(p.LoadU64(rootAddr.Add(rootOffDir)))
@@ -131,7 +131,7 @@ func (t *Table) cacheRepair(parts hashfn.Parts) {
 
 // cachePublishSplit write-through: mirror a completed split of the entry
 // range [start, start+span) — lower half keeps oldSeg, upper half routes to
-// newSeg, both now at newLocal. The caller holds splitMu and every bucket
+// newSeg, both now at newLocal. The caller holds dirMu and every bucket
 // lock of oldSeg, so this lands before any operation can observe the
 // post-split segment metadata.
 func (t *Table) cachePublishSplit(oldSeg, newSeg pmem.Addr, newLocal uint8, start, span uint64) {
@@ -148,7 +148,7 @@ func (t *Table) cachePublishSplit(oldSeg, newSeg pmem.Addr, newLocal uint8, star
 // cacheDouble write-through: install the doubled view right after the PM
 // root pointer flipped to newDir. Every old entry is duplicated, preserving
 // each segment's packed local depth (doubling changes no segment's
-// coverage). The caller holds splitMu.
+// coverage). The caller holds dirMu.
 func (t *Table) cacheDouble(newDir pmem.Addr) {
 	old := t.cache.view.Load()
 	n := uint64(len(old.entries))

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"math/bits"
+
 	"dash/internal/hashfn"
 	"dash/internal/pmem"
 )
@@ -22,14 +24,53 @@ const (
 	segHeaderSize = 64
 	segOffDepth   = 0
 	segOffPattern = 8
+	segOffSplit   = 16 // split-progress marker; see splitStateInFlight
 
 	segmentSize = segHeaderSize + totalBuckets*bucketSize
 
 	slotsPerSegment = totalBuckets * slotsPerBucket
 )
 
+// The split-state word at segOffSplit is both the runtime split-ownership
+// claim and the persistent split-progress marker. Zero means no split is in
+// flight. The low bit set means a split owns this segment; the remaining
+// bits hold the sibling segment's (256-aligned) address once it has been
+// allocated, or zero while the claim is still being set up. Recovery reads
+// the marker to finish or roll back a half-migrated split (see
+// Table.recover) and clears it, so — like the bucket version locks — the
+// word never survives a restart.
+const splitStateInFlight = 1
+
+func segSplitState(p *pmem.Pool, seg pmem.Addr) uint64 {
+	// The split word shares the header line that segClaims already charged
+	// on this operation's validation, so the load is quiet
+	// (one-charge-per-line discipline).
+	return p.QuietLoadU64(seg.Add(segOffSplit))
+}
+
+// splitStateSibling extracts the sibling address from a split-state word
+// (null while the split is claimed but the sibling not yet allocated).
+func splitStateSibling(st uint64) pmem.Addr {
+	return pmem.Addr(st &^ uint64(allocAlign-1))
+}
+
 func segBucket(seg pmem.Addr, i int) pmem.Addr {
 	return seg.Add(uint64(segHeaderSize + i*bucketSize))
+}
+
+// touchRecordLines accounts one sequential read of the record cachelines a
+// full bucket scan dereferences, so the per-record loads themselves can be
+// quiet (one-charge-per-line: a scan streams the bucket's lines once; the
+// header line, which also holds records 0 and 1, was already paid by the
+// caller's lock acquisition or version load). Slots are allocated
+// lowest-first, so only lines up to the highest used slot are charged.
+func touchRecordLines(p *pmem.Pool, ba pmem.Addr, m uint64) {
+	last := bits.Len64(m&slotMask) - 1 // highest used slot, -1 when empty
+	if last < 2 {
+		return // records 0 and 1 live in the header's cacheline
+	}
+	end := uint64(bkOffRecords + (last+1)*pmem.RecordSize)
+	p.TouchRead(ba.Add(pmem.CachelineSize), end-pmem.CachelineSize)
 }
 
 func segDepth(p *pmem.Pool, seg pmem.Addr) uint8 {
@@ -58,10 +99,11 @@ func segSetMeta(p *pmem.Pool, seg pmem.Addr, depth uint8, pattern uint64) {
 }
 
 // segInit zeroes a freshly allocated segment and writes its header. The
-// caller persists the whole range once it is fully populated; until then the
-// segment is unpublished and invisible to every other goroutine.
+// caller persists the whole range once it is fully populated; until then
+// the segment is unpublished and invisible to every other goroutine — so
+// the zeroing is quiet, its media traffic charged by that publishing flush.
 func segInit(p *pmem.Pool, seg pmem.Addr, depth uint8, pattern uint64) {
-	p.Zero(seg, segmentSize)
+	p.QuietZero(seg, segmentSize)
 	p.StoreU64(seg.Add(segOffDepth), uint64(depth))
 	p.StoreU64(seg.Add(segOffPattern), pattern)
 }
@@ -111,7 +153,7 @@ func segFindLocked(p *pmem.Pool, seg pmem.Addr, parts hashfn.Parts, key uint64) 
 		return recLoc{bucket: b2, slot: slot, tracked: -1}, true
 	}
 	ba := segBucket(seg, b)
-	m := p.LoadU64(ba.Add(bkOffMeta))
+	m := p.QuietLoadU64(ba.Add(bkOffMeta)) // header line paid by the caller's lock
 	hi := p.QuietLoadU64(ba.Add(bkOffFPHi))
 	for i := 0; i < maxOvSlots; i++ {
 		if !metaOvSlotUsed(m, i) || metaOvFP(m, i) != parts.FP {
@@ -138,9 +180,10 @@ func segFindLocked(p *pmem.Pool, seg pmem.Addr, parts hashfn.Parts, key uint64) 
 // split. With concurrent=true the caller holds the home pair's locks and
 // this function takes the extra locks it needs (displacement target via
 // trylock to stay deadlock-free, stash buckets in ascending order);
-// concurrent=false is the single-owner path used on unpublished segments
-// during migration.
-func segInsertLocked(p *pmem.Pool, seg pmem.Addr, parts hashfn.Parts, kv pmem.KV, concurrent bool, seed uint64) bool {
+// concurrent=false is the single-owner path used by recovery. persist=false
+// defers durability to a whole-segment flush (unpublished split siblings;
+// see bucketInsertLocked).
+func segInsertLocked(p *pmem.Pool, seg pmem.Addr, parts hashfn.Parts, kv pmem.KV, concurrent, persist bool, seed uint64) bool {
 	b := int(parts.BucketIndex(bucketBits))
 	b2 := (b + 1) % normalBuckets
 	ba, b2a := segBucket(seg, b), segBucket(seg, b2)
@@ -148,22 +191,32 @@ func segInsertLocked(p *pmem.Pool, seg pmem.Addr, parts hashfn.Parts, kv pmem.KV
 	// Balanced insert: prefer the bucket with more free slots, home on ties.
 	f1, f2 := bucketFreeSlots(p, ba), bucketFreeSlots(p, b2a)
 	if f1 >= f2 && f1 > 0 {
-		return bucketInsertLocked(p, ba, parts.FP, kv)
+		return bucketInsertLocked(p, ba, parts.FP, kv, persist)
 	}
 	if f2 > 0 {
-		return bucketInsertLocked(p, b2a, parts.FP, kv)
+		return bucketInsertLocked(p, b2a, parts.FP, kv, persist)
 	}
 
 	// Displacement: make room in the probing bucket b2 by moving one of its
 	// *own* records (home == b2, i.e. not itself displaced) to b2's probing
 	// bucket b3. The moved key stays within its candidate pair, so readers
 	// still find it; the copy-then-delete order means a crash can at worst
-	// duplicate it, which recovery deduplicates.
+	// duplicate it, which recovery deduplicates. Disabled while a split of
+	// this segment is in flight: a displacement could hop a record over the
+	// migration front (out of a not-yet-copied bucket into an already-copied
+	// one), and unlike a plain insert there is no assisting writer mirroring
+	// the victim into the sibling.
 	b3 := (b2 + 1) % normalBuckets
 	b3a := segBucket(seg, b3)
 	if !concurrent || tryLockBucket(p, b3a) {
-		if bucketFreeSlots(p, b3a) > 0 {
-			m := p.LoadU64(b2a.Add(bkOffMeta))
+		// The split-marker check must follow the b3 lock acquisition: the
+		// migrator copies a bucket only under that bucket's lock and only
+		// after storing the marker, so reading no marker through the locks
+		// we hold (b, b2, b3) proves none of the three buckets has been
+		// migrated yet — the displacement stays on the unmigrated side of
+		// the front, where the migrator will still find its result.
+		if segSplitState(p, seg)&splitStateInFlight == 0 && bucketFreeSlots(p, b3a) > 0 {
+			m := p.QuietLoadU64(b2a.Add(bkOffMeta)) // b2's header line paid by its lock
 			for slot := 0; slot < slotsPerBucket; slot++ {
 				if !metaSlotUsed(m, slot) {
 					continue
@@ -173,12 +226,12 @@ func segInsertLocked(p *pmem.Pool, seg pmem.Addr, parts hashfn.Parts, kv pmem.KV
 				if int(vp.BucketIndex(bucketBits)) != b2 {
 					continue
 				}
-				bucketInsertLocked(p, b3a, vp.FP, vict)
-				bucketDeleteLocked(p, b2a, slot)
+				bucketInsertLocked(p, b3a, vp.FP, vict, persist)
+				bucketDeleteLocked(p, b2a, slot, persist)
 				if concurrent {
 					unlockBucket(p, b3a)
 				}
-				return bucketInsertLocked(p, b2a, parts.FP, kv)
+				return bucketInsertLocked(p, b2a, parts.FP, kv, persist)
 			}
 		}
 		if concurrent {
@@ -195,12 +248,12 @@ func segInsertLocked(p *pmem.Pool, seg pmem.Addr, parts hashfn.Parts, kv pmem.KV
 		if concurrent {
 			lockBucket(p, sa)
 		}
-		ok := bucketInsertLocked(p, sa, parts.FP, kv)
+		ok := bucketInsertLocked(p, sa, parts.FP, kv, persist)
 		if concurrent {
 			unlockBucket(p, sa)
 		}
 		if ok {
-			bucketTrackOverflow(p, ba, parts.FP, j)
+			bucketTrackOverflow(p, ba, parts.FP, j, persist)
 			return true
 		}
 	}
@@ -209,22 +262,23 @@ func segInsertLocked(p *pmem.Pool, seg pmem.Addr, parts hashfn.Parts, kv pmem.KV
 
 // segDeleteAt removes the record at loc, fixing the home bucket's overflow
 // metadata when the record lived in the stash. Caller holds the home pair's
-// locks (or owns the whole segment).
-func segDeleteAt(p *pmem.Pool, seg pmem.Addr, parts hashfn.Parts, loc recLoc, concurrent bool) {
+// locks (or owns the whole segment). persist=false defers durability
+// (unpublished split siblings; see bucketInsertLocked).
+func segDeleteAt(p *pmem.Pool, seg pmem.Addr, parts hashfn.Parts, loc recLoc, concurrent, persist bool) {
 	sa := segBucket(seg, loc.bucket)
 	if !loc.inStash() {
-		bucketDeleteLocked(p, sa, loc.slot)
+		bucketDeleteLocked(p, sa, loc.slot, persist)
 		return
 	}
 	if concurrent {
 		lockBucket(p, sa)
 	}
-	bucketDeleteLocked(p, sa, loc.slot)
+	bucketDeleteLocked(p, sa, loc.slot, persist)
 	if concurrent {
 		unlockBucket(p, sa)
 	}
 	home := segBucket(seg, int(parts.BucketIndex(bucketBits)))
-	bucketUntrackOverflow(p, home, loc.tracked)
+	bucketUntrackOverflow(p, home, loc.tracked, persist)
 }
 
 // segSearchOpt is the lock-free read path: probe the candidate pair
@@ -260,30 +314,6 @@ func segSearchOpt(p *pmem.Pool, seg pmem.Addr, parts hashfn.Parts, key uint64) (
 	return 0, false
 }
 
-// segMigrate copies every record whose split-deciding bit is 1 from src into
-// the unpublished segment dst (single-owner insert path). Returns false in
-// the pathological case that dst cannot absorb them.
-func segMigrate(p *pmem.Pool, src, dst pmem.Addr, depth uint8, seed uint64) bool {
-	for bi := 0; bi < totalBuckets; bi++ {
-		ba := segBucket(src, bi)
-		m := p.LoadU64(ba.Add(bkOffMeta))
-		for slot := 0; slot < slotsPerBucket; slot++ {
-			if !metaSlotUsed(m, slot) {
-				continue
-			}
-			kv := p.ReadKV(recordAddr(ba, slot))
-			parts := hashfn.Split(hashfn.HashU64(kv.Key, seed))
-			if !parts.DepthBit(depth) {
-				continue
-			}
-			if !segInsertLocked(p, dst, parts, kv, false, seed) {
-				return false
-			}
-		}
-	}
-	return true
-}
-
 // segSweep deletes every record for which drop returns true, fixing stash
 // tracking metadata as it goes. The caller owns every bucket of the segment
 // (split cleanup holds all locks; recovery is single-threaded). Returns the
@@ -307,10 +337,96 @@ func segSweep(p *pmem.Pool, seg pmem.Addr, seed uint64, drop func(parts hashfn.P
 				home := segBucket(seg, int(parts.BucketIndex(bucketBits)))
 				loc.tracked = findTrackedSlot(p, home, parts.FP, bi-normalBuckets)
 			}
-			segDeleteAt(p, seg, parts, loc, false)
+			segDeleteAt(p, seg, parts, loc, false, true)
 			removed++
 		}
 	}
+	return removed
+}
+
+// segSweepBatched removes every record for which drop returns true with one
+// header store + flush per *bucket* instead of per record, plus a single
+// fence at the end — the persist-batched sweep the split publish runs while
+// it holds every bucket lock. Only allocation bitmaps and overflow-tracking
+// metadata change (all packed in the bucket meta words); dropping a bucket's
+// records and untracking its stash spills therefore coalesce into one
+// persisted word per touched bucket. Returns the number of records removed.
+//
+// known/knownValid let the caller skip record reads entirely: when
+// knownValid[bi], known[bi] is the bucket's drop-slot bitmap (precomputed by
+// the migration scan and proven current by the bucket's seqlock version).
+// Only normal buckets may be marked known — stash drops need each record's
+// hash to fix its home bucket's overflow tracking.
+//
+// Unlike segSweep the drop decision is computed for all records first and
+// applied per meta word, so drop must not depend on sweep order (the split
+// publish's depth-bit predicate does not).
+func segSweepBatched(p *pmem.Pool, seg pmem.Addr, seed uint64, drop func(parts hashfn.Parts, kv pmem.KV) bool, known []uint64, knownValid []bool, hookMidSweep func()) int {
+	var metas [totalBuckets]uint64 // stack-sized: the sweep allocates nothing
+	var dirty [totalBuckets]bool
+	for bi := 0; bi < totalBuckets; bi++ {
+		// Header lines were paid by the caller's lock acquisitions.
+		metas[bi] = p.QuietLoadU64(segBucket(seg, bi).Add(bkOffMeta))
+	}
+	removed := 0
+	for bi := 0; bi < totalBuckets; bi++ {
+		ba := segBucket(seg, bi)
+		m := metas[bi] // pre-sweep snapshot: iterate original occupancy
+		if knownValid != nil && bi < normalBuckets && knownValid[bi] {
+			if drops := known[bi] & m & slotMask; drops != 0 {
+				metas[bi] = m &^ drops
+				dirty[bi] = true
+				removed += bits.OnesCount64(drops)
+			}
+			continue
+		}
+		touchRecordLines(p, ba, m)
+		for slot := 0; slot < slotsPerBucket; slot++ {
+			if !metaSlotUsed(m, slot) {
+				continue
+			}
+			kv := p.QuietReadKV(recordAddr(ba, slot))
+			parts := hashfn.Split(hashfn.HashU64(kv.Key, seed))
+			if !drop(parts, kv) {
+				continue
+			}
+			metas[bi] = metaClearSlot(metas[bi], slot)
+			dirty[bi] = true
+			if bi >= normalBuckets {
+				// Stash record: fix the home bucket's overflow tracking in
+				// its *buffered* meta word — searching the buffer (not PM)
+				// keeps two same-fingerprint drops from resolving to the
+				// same tracking slot. The hi word (stash indexes) never
+				// changes during a sweep, so reading it from PM is exact.
+				home := int(parts.BucketIndex(bucketBits))
+				hhi := p.QuietLoadU64(segBucket(seg, home).Add(bkOffFPHi))
+				if ts := metaFindTracked(metas[home], hhi, parts.FP, bi-normalBuckets); ts >= 0 {
+					metas[home] = metaClearOvFP(metas[home], ts)
+				} else {
+					metas[home] = metaAddOvCount(metas[home], -1)
+				}
+				dirty[home] = true
+			}
+			removed++
+		}
+	}
+	fenced := false
+	for bi := 0; bi < totalBuckets; bi++ {
+		if !dirty[bi] {
+			continue
+		}
+		a := segBucket(seg, bi).Add(bkOffMeta)
+		p.QuietStoreU64(a, metas[bi]) // header line paid by the caller's lock
+		p.Flush(a, 8)
+		if !fenced && hookMidSweep != nil {
+			// Crash-injection point: first meta line flushed, fence and the
+			// remaining buckets still pending.
+			p.Fence()
+			fenced = true
+			hookMidSweep()
+		}
+	}
+	p.Fence()
 	return removed
 }
 

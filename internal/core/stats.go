@@ -52,6 +52,18 @@ type TableStats struct {
 	// DirCacheBytes approximates the cache's DRAM footprint: 8 bytes per
 	// directory entry.
 	DirCacheBytes uint64
+
+	// Splits counts completed segment splits since Create/Open. Windowed
+	// consumers (internal/bench) subtract a baseline snapshot.
+	Splits uint64
+	// SplitStallNS is the cumulative wall time split publishes held every
+	// bucket lock of their segment (including any directory doubling): the
+	// table-freeze exposure that remains now that migration is incremental.
+	SplitStallNS int64
+	// SplitAssists counts writer operations mirrored into an in-flight
+	// split's unpublished sibling (the writer-side cost of not freezing the
+	// segment during migration).
+	SplitAssists uint64
 }
 
 // Stats walks the DRAM directory cache for the segment set — observing the
@@ -97,6 +109,9 @@ func (t *Table) Stats() TableStats {
 		DirCacheHitRate:  1,
 		DirCacheRebuilds: t.cache.rebuilds.Load(),
 		DirCacheBytes:    8 * uint64(len(v.entries)),
+		Splits:           t.splits.Load(),
+		SplitStallNS:     t.splitStallNS.Load(),
+		SplitAssists:     t.splitAssists.Load(),
 	}
 	if hits+misses > 0 {
 		st.DirCacheHitRate = float64(hits) / float64(hits+misses)

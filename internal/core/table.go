@@ -4,9 +4,11 @@ import (
 	"errors"
 	"fmt"
 	"math/bits"
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"dash/internal/epoch"
 	"dash/internal/hashfn"
@@ -30,12 +32,24 @@ import (
 //   - Writers lock only the key's two candidate buckets (plus stash /
 //     displacement buckets, in a fixed deadlock-free order), then revalidate
 //     the route and the segment's pattern before mutating.
-//   - Structural changes (segment split, directory doubling) serialize on
-//     one table-wide mutex and take every bucket lock of the splitting
-//     segment, excluding writers; readers are invalidated by the version
-//     bumps when the locks release. Both update the directory cache before
-//     those locks release, so a cached route is stale only while the
-//     structural change is in flight.
+//   - Segment splits are per-segment and concurrent: ownership is claimed by
+//     CAS on the segment header's split-state word (which doubles as the
+//     persistent split-progress marker), so splits of distinct segments
+//     proceed in parallel. The owner copies records into the unpublished
+//     sibling one bucket at a time under that bucket's version lock;
+//     readers and writers on the other buckets proceed normally. Writers
+//     that mutate the splitting segment mirror ("assist") any operation on
+//     a key the sibling claims into the sibling too, so the migration front
+//     needs no writer-side coordination beyond the marker check. The only
+//     stop-the-world moment is the short publish step: all bucket locks are
+//     taken, the fully-built sibling is persisted with one flush+fence, the
+//     directory entries flip, the old segment's metadata bumps, moved
+//     records are swept with one persist per bucket, and the directory
+//     cache is written through — then everything unlocks.
+//   - Directory doubling (and the entry flips of a publish) serialize on the
+//     narrow dirMu; nothing else does. Lock order is: old-segment bucket
+//     locks → sibling bucket locks → dirMu, each level acquired in
+//     ascending index order (pairs sorted, displacement via trylock).
 
 // Root block layout, at the first usable cacheline of the pool.
 const (
@@ -84,9 +98,11 @@ type Table struct {
 	// the first stop of every operation's key → segment routing.
 	cache dirCache
 
-	// splitMu serializes structural changes: segment splits and the
-	// directory doublings they trigger.
-	splitMu sync.Mutex
+	// dirMu serializes directory mutation: doubling, the entry flips of a
+	// split publish, and cache repair/rebuild. Splits themselves are
+	// per-segment (claimed via the segment header's split-state word) and
+	// run concurrently; they touch dirMu only for their short publish.
+	dirMu sync.Mutex
 
 	// DRAM free list of retired PM blocks (old directories), refilled via
 	// epoch reclamation and consumed by alloc.
@@ -95,11 +111,24 @@ type Table struct {
 
 	count atomic.Int64
 
+	// splits counts completed segment splits; splitStallNS accumulates the
+	// wall time their exclusive publish windows (all bucket locks held,
+	// including any directory doubling) stalled the segment; splitAssists
+	// counts writer operations mirrored into an in-flight split's sibling.
+	// The migrator probes the sibling for duplicates only when assists
+	// happened, so the counter is also load-bearing (see splitMigrate).
+	splits       atomic.Uint64
+	splitStallNS atomic.Int64
+	splitAssists atomic.Uint64
+
 	// Test hooks fired inside split; used by crash-consistency tests to
 	// simulate power loss at the protocol's interesting points.
-	hookAfterSegPersist func()
-	hookMidPublish      func()
-	hookAfterPublish    func()
+	hookAfterMarker     func()                          // split marker persisted, no records migrated
+	hookMidMigrate      func(seg pmem.Addr, bucket int) // after each migrated bucket, outside its lock
+	hookAfterSegPersist func()                          // sibling fully persisted, nothing published
+	hookMidPublish      func()                          // first directory entry of a multi-entry flip persisted
+	hookAfterPublish    func()                          // all entries flipped, old-segment meta/sweep pending
+	hookMidSweep        func()                          // first swept bucket persisted, rest pending
 }
 
 type freeSpan struct {
@@ -284,7 +313,18 @@ func (t *Table) Insert(key, value uint64) error {
 			unlockPair(p, seg, b, b2)
 			return ErrKeyExists
 		}
-		if segInsertLocked(p, seg, parts, pmem.KV{Key: key, Value: value}, true, t.seed) {
+		kv := pmem.KV{Key: key, Value: value}
+		if segInsertLocked(p, seg, parts, kv, true, true, t.seed) {
+			if sib := t.splitSibling(seg, parts); !sib.IsNull() && !t.assistInsert(sib, parts, kv) {
+				// The in-flight split's sibling cannot absorb the key's
+				// copy: the split is overflowing pathologically. Undo and
+				// surface it, matching what the migrator will report.
+				if loc, found := segFindLocked(p, seg, parts, key); found {
+					segDeleteAt(p, seg, parts, loc, true, true)
+				}
+				unlockPair(p, seg, b, b2)
+				return ErrSegmentOverflow
+			}
 			unlockPair(p, seg, b, b2)
 			t.count.Add(1)
 			return nil
@@ -343,7 +383,10 @@ func (t *Table) Delete(key uint64) bool {
 		t.cache.hits.Add(1)
 		loc, found := segFindLocked(p, seg, parts, key)
 		if found {
-			segDeleteAt(p, seg, parts, loc, true)
+			segDeleteAt(p, seg, parts, loc, true, true)
+			if sib := t.splitSibling(seg, parts); !sib.IsNull() {
+				t.assistDelete(sib, parts, key)
+			}
 			t.count.Add(-1)
 		}
 		unlockPair(p, seg, b, b2)
@@ -375,30 +418,314 @@ func (t *Table) Update(key, value uint64) bool {
 			ra := recordAddr(segBucket(seg, loc.bucket), loc.slot)
 			p.WriteValue(ra, value)
 			p.Persist(ra.Add(8), 8)
+			if sib := t.splitSibling(seg, parts); !sib.IsNull() {
+				t.assistUpdate(sib, parts, key, value)
+			}
 		}
 		unlockPair(p, seg, b, b2)
 		return found
 	}
 }
 
-// split replaces oldSeg by two segments of local depth+1, doubling the
-// directory first when needed. The publish is the paper's crash-consistent
-// three-step sequence: (1) allocate and fully persist the new segment
-// (records copied, old copies still in place), (2) flip the upper half of
-// the old segment's directory range to the new segment and persist, (3) only
-// then bump the old segment's depth/pattern and sweep out the moved records.
-// A crash before (2) leaks an unpublished block; a crash inside (2) or (3)
-// leaves duplicates and stale metadata that Open's recovery reconciles from
-// the directory image.
+// split replaces oldSeg by two segments of local depth+1 with bounded
+// stalls. Ownership is claimed by CAS on the segment's split-state word
+// (per-segment: splits of distinct segments run in parallel; a loser waits
+// the winner out and retries its operation). The owner then:
+//
+//  1. allocates and initializes the sibling, and persists the split-progress
+//     marker (sibling address | in-flight bit) into oldSeg's header — the
+//     point from which a crash rolls back by clearing the marker;
+//  2. migrates the sibling's half of the records one bucket at a time under
+//     that bucket's version lock (splitMigrate) — readers and writers on
+//     the other 65 buckets proceed, and writers mirror sibling-claimed
+//     mutations into the sibling themselves (assist*);
+//  3. publishes (splitPublish): the only stop-the-world step — under all
+//     bucket locks the sibling is persisted with one flush+fence, the
+//     directory entries flip (doubling first if needed, both under dirMu),
+//     oldSeg's metadata bumps and its moved records are swept with one
+//     persist per bucket, and the directory cache is written through.
+//
+// A crash before the first entry flip leaves the sibling unpublished:
+// recovery clears the marker and the block leaks. A crash after it leaves
+// the directory image authoritative: recovery completes the flips, fixes
+// metadata and sweeps duplicates exactly as under the old protocol.
 func (t *Table) split(parts hashfn.Parts, oldSeg pmem.Addr) error {
-	t.splitMu.Lock()
-	defer t.splitMu.Unlock()
+	p := t.pool
+	spa := oldSeg.Add(segOffSplit)
+	if !p.CompareAndSwapU64(spa, 0, splitStateInFlight) {
+		// Another goroutine owns this segment's split. Wait it out (no
+		// locks held here); the caller revalidates its route and retries.
+		for p.QuietLoadU64(spa)&splitStateInFlight != 0 {
+			runtime.Gosched()
+		}
+		return nil
+	}
+	// We own the split. Between the failed insert that brought us here and
+	// the claim, a finished split may have relocated the key range or made
+	// room; re-check cheaply and release the claim if so. The claim value
+	// is transient (never persisted): recovery clears markers wholesale.
+	b := int(parts.BucketIndex(bucketBits))
+	b2 := (b + 1) % normalBuckets
+	if _, seg := t.resolve(parts); seg != oldSeg ||
+		bucketFreeSlots(p, segBucket(oldSeg, b)) > 0 ||
+		bucketFreeSlots(p, segBucket(oldSeg, b2)) > 0 {
+		p.StoreU64(spa, 0)
+		return nil
+	}
+	l := segDepth(p, oldSeg)
+	pat := segPattern(p, oldSeg)
+
+	newSeg, err := t.alloc(segmentSize)
+	if err != nil {
+		p.StoreU64(spa, 0)
+		return err
+	}
+	segInit(p, newSeg, l+1, pat<<1|1)
+
+	// Snapshot the assist counter before the marker becomes visible: any
+	// assist that could race the copy loop bumps it past a0, which is what
+	// tells splitMigrate it must probe for duplicates.
+	a0 := t.splitAssists.Load()
+	p.StoreU64(spa, uint64(newSeg)|splitStateInFlight)
+	p.Persist(spa, 8)
+	if t.hookAfterMarker != nil {
+		t.hookAfterMarker()
+	}
+
+	sc, ok := t.splitMigrate(oldSeg, newSeg, l, a0)
+	defer splitScanPool.Put(sc)
+	if !ok {
+		// Pathological one-sided overflow: roll back by clearing the
+		// marker. The sibling is leaked rather than reused — an assisting
+		// writer that read the marker just before the clear may still be
+		// writing into it under its bucket locks.
+		p.StoreU64(spa, 0)
+		p.Persist(spa, 8)
+		return ErrSegmentOverflow
+	}
+	return t.splitPublish(oldSeg, newSeg, l, pat, sc)
+}
+
+// splitMigrate copies every record the sibling claims from oldSeg into the
+// unpublished newSeg, one bucket at a time under that bucket's version lock
+// — the low-stall replacement for freezing all 66 buckets at once. Normal
+// buckets are consistent under their own lock (every mutation of a record
+// in bucket bi holds bi's lock). Stash records are guarded by their *home*
+// bucket's lock instead, so the stash pass locks each record's home pair
+// and re-verifies the slot under it. Copies are not persisted individually:
+// the publish step makes the whole sibling durable with one flush+fence
+// before any directory entry points at it, and a crash before that rolls
+// the sibling back wholesale.
+//
+// a0 is the split-assist counter snapshot from before the marker was
+// published: while the counter still equals a0 no writer can have mirrored
+// an op into any sibling, and the copy loop skips the duplicate probe.
+// Returns false on pathological one-sided overflow.
+// splitScan is what splitMigrate's optimistic source scan learned, reused
+// by the publish to sweep without re-reading records: per normal bucket the
+// seqlock version the stable scan observed and the bitmap of moved
+// (sibling-claimed) slots. A bucket whose version at publish time differs
+// from ver[bi]+1 (+1 for the publish's own lock) was mutated after the scan
+// and is re-scanned; the rest sweep by bitmap alone.
+//
+// Instances are pooled: a split allocates nothing steady-state, so the
+// resize path adds no GC pressure (on small-core boxes, GC mark assists
+// were showing up as multi-ms latency outliers dwarfing the splits
+// themselves).
+type splitScan struct {
+	ver     [normalBuckets]uint64
+	moved   [normalBuckets]uint64
+	cand    []splitCand
+	grouped []splitCand
+	known   [totalBuckets]uint64
+	kvalid  [totalBuckets]bool
+}
+
+var splitScanPool = sync.Pool{New: func() any { return new(splitScan) }}
+
+// splitCand is one sibling-claimed record the scan found: where it lives in
+// the old segment (for the locked re-verify) and its precomputed hash parts.
+type splitCand struct {
+	key  uint64
+	rec  pmem.Addr // record address in the old segment
+	meta pmem.Addr // its bucket's meta word
+	slot int
+	home int
+	rp   hashfn.Parts
+}
+
+func (t *Table) splitMigrate(oldSeg, newSeg pmem.Addr, l uint8, a0 uint64) (*splitScan, bool) {
 	p := t.pool
 
-	dir, seg := t.resolve(parts)
-	if seg != oldSeg {
-		return nil // another split already covered this key range
+	// Phase 1 — optimistic scan, no locks: migration never mutates the old
+	// segment, so each bucket is snapshotted seqlock-style (stable version
+	// across the scan, like bucketSearchOpt). The whole segment is charged
+	// as one streaming read up front — a sequential sweep of its lines,
+	// exactly what the hardware prefetcher would serve — and the per-word
+	// loads are quiet (one-charge-per-line).
+	p.TouchRead(oldSeg, segmentSize)
+	sc := splitScanPool.Get().(*splitScan)
+	sc.cand = sc.cand[:0]
+	for bi := 0; bi < normalBuckets; bi++ {
+		ba := segBucket(oldSeg, bi)
+		va := ba.Add(bkOffVersion)
+		for {
+			v := p.QuietLoadU64(va)
+			if v&1 != 0 {
+				runtime.Gosched()
+				continue
+			}
+			m := p.QuietLoadU64(ba.Add(bkOffMeta))
+			n0 := len(sc.cand)
+			moved := uint64(0)
+			for slot := 0; slot < slotsPerBucket; slot++ {
+				if !metaSlotUsed(m, slot) {
+					continue
+				}
+				ra := recordAddr(ba, slot)
+				key := p.QuietLoadU64(ra)
+				rp := hashfn.Split(hashfn.HashU64(key, t.seed))
+				if rp.DepthBit(l) {
+					moved |= 1 << uint(slot)
+					sc.cand = append(sc.cand, splitCand{
+						key: key, rec: ra, meta: ba.Add(bkOffMeta),
+						slot: slot, home: int(rp.BucketIndex(bucketBits)), rp: rp,
+					})
+				}
+			}
+			if p.QuietLoadU64(va) == v {
+				sc.ver[bi], sc.moved[bi] = v, moved
+				break
+			}
+			sc.cand = sc.cand[:n0] // torn snapshot; rescan this bucket
+		}
 	}
+
+	// Phase 2 — copy, grouped by destination home pair, under the sibling's
+	// pair locks only. The protocol needs no old-segment locks: every
+	// sibling-claimed mutation mirrors itself into the sibling under these
+	// same locks (assist*), so re-verifying the source slot while holding
+	// them is race-free — a slot that still carries the key cannot lose it
+	// until we unlock, and one that changed was handled by its writer's
+	// assist. Copies are not persisted individually; the publish makes the
+	// whole sibling durable with one flush+fence.
+	var cnt [normalBuckets + 1]int
+	for _, c := range sc.cand {
+		cnt[c.home+1]++
+	}
+	for h := 1; h <= normalBuckets; h++ {
+		cnt[h] += cnt[h-1]
+	}
+	if cap(sc.grouped) < len(sc.cand) {
+		sc.grouped = make([]splitCand, len(sc.cand))
+	}
+	grouped := sc.grouped[:len(sc.cand)]
+	pos := cnt
+	for _, c := range sc.cand {
+		grouped[pos[c.home]] = c
+		pos[c.home]++
+	}
+	for h := 0; h < normalBuckets; h++ {
+		if cnt[h+1] > cnt[h] {
+			h2 := (h + 1) % normalBuckets
+			lockPair(p, newSeg, h, h2)
+			for _, c := range grouped[cnt[h]:cnt[h+1]] {
+				// Re-verify under the sibling lock; both loads share lines
+				// the scan already charged.
+				if !metaSlotUsed(p.QuietLoadU64(c.meta), c.slot) || p.QuietLoadU64(c.rec) != c.key {
+					continue // deleted or replaced; its writer's assist covered the sibling
+				}
+				// Freshest value: an update between scan and copy either
+				// already landed (read here) or will assist after we unlock.
+				kv := pmem.KV{Key: c.key, Value: p.QuietLoadU64(c.rec.Add(8))}
+				if t.splitAssists.Load() != a0 {
+					if _, dup := segFindLocked(p, newSeg, c.rp, c.key); dup {
+						continue
+					}
+				}
+				if !segInsertLocked(p, newSeg, c.rp, kv, true, false, t.seed) {
+					unlockPair(p, newSeg, h, h2)
+					return sc, false
+				}
+			}
+			unlockPair(p, newSeg, h, h2)
+		}
+		if t.hookMidMigrate != nil {
+			t.hookMidMigrate(oldSeg, h)
+		}
+	}
+
+	// Phase 3 — stash records; these mutate under their home bucket's lock,
+	// so each is copied under its old-segment home pair plus the sibling
+	// pair (this is the one place migration still takes old-segment locks,
+	// bounded by the stash's 28 slots).
+	for j := 0; j < stashBuckets; j++ {
+		sa := segBucket(oldSeg, normalBuckets+j)
+		for slot := 0; slot < slotsPerBucket; slot++ {
+			if !t.splitCopyStashSlot(oldSeg, newSeg, sa, slot, l, a0) {
+				return sc, false
+			}
+		}
+		if t.hookMidMigrate != nil {
+			t.hookMidMigrate(oldSeg, normalBuckets+j)
+		}
+	}
+	return sc, true
+}
+
+// splitCopyStashSlot migrates one stash slot of oldSeg. Stash records
+// mutate only under their home bucket's lock, so the slot's key is read
+// optimistically, its home pair locked, and the slot re-verified under the
+// locks; a slot that changed identity in between is retried with the new
+// key (bounded in practice: slots change only while writers win the race).
+func (t *Table) splitCopyStashSlot(oldSeg, newSeg, sa pmem.Addr, slot int, l uint8, a0 uint64) bool {
+	p := t.pool
+	for {
+		m := p.LoadU64(sa.Add(bkOffMeta))
+		if !metaSlotUsed(m, slot) {
+			return true
+		}
+		key := p.ReadKey(recordAddr(sa, slot))
+		rp := hashfn.Split(hashfn.HashU64(key, t.seed))
+		hb := int(rp.BucketIndex(bucketBits))
+		hb2 := (hb + 1) % normalBuckets
+		lockPair(p, oldSeg, hb, hb2)
+		m = p.LoadU64(sa.Add(bkOffMeta))
+		if !metaSlotUsed(m, slot) || p.ReadKey(recordAddr(sa, slot)) != key {
+			unlockPair(p, oldSeg, hb, hb2)
+			continue
+		}
+		ok := true
+		if rp.DepthBit(l) {
+			kv := p.ReadKV(recordAddr(sa, slot))
+			lockPair(p, newSeg, hb, hb2)
+			dup := false
+			if t.splitAssists.Load() != a0 {
+				_, dup = segFindLocked(p, newSeg, rp, key)
+			}
+			if !dup {
+				ok = segInsertLocked(p, newSeg, rp, kv, true, false, t.seed)
+			}
+			unlockPair(p, newSeg, hb, hb2)
+		}
+		unlockPair(p, oldSeg, hb, hb2)
+		return ok
+	}
+}
+
+// splitPublish is the split's only stop-the-world step, and it is short:
+// every bucket lock of oldSeg is taken (excluding writers and spinning out
+// optimistic readers), the finished sibling becomes durable with a single
+// whole-segment flush+fence, the directory entries flip under dirMu
+// (doubling first when the segment's depth has caught up with the global
+// depth), oldSeg's metadata bumps together with the marker clear in one
+// header persist, the moved records are swept with one persist per touched
+// bucket, and the DRAM directory cache is written through — only then do
+// the locks release. The stall this window causes is accumulated in
+// splitStallNS.
+func (t *Table) splitPublish(oldSeg, newSeg pmem.Addr, l uint8, pat uint64, sc *splitScan) error {
+	p := t.pool
+	begin := time.Now()
 	for i := 0; i < totalBuckets; i++ {
 		lockBucket(p, segBucket(oldSeg, i))
 	}
@@ -406,15 +733,29 @@ func (t *Table) split(parts hashfn.Parts, oldSeg pmem.Addr) error {
 		for i := 0; i < totalBuckets; i++ {
 			unlockBucket(p, segBucket(oldSeg, i))
 		}
+		t.splitStallNS.Add(time.Since(begin).Nanoseconds())
 	}()
 
-	l := segDepth(p, oldSeg)
-	pat := segPattern(p, oldSeg)
-	g := dirDepth(p, dir)
+	// All writers are excluded now (assists run under bucket locks), so the
+	// sibling is finished and this one flush+fence replaces the per-record
+	// persists of the old copy loop.
+	segPersist(p, newSeg)
+	if t.hookAfterSegPersist != nil {
+		t.hookAfterSegPersist()
+	}
 
+	t.dirMu.Lock()
+	defer t.dirMu.Unlock()
+
+	dir := pmem.Addr(p.LoadU64(rootAddr.Add(rootOffDir)))
+	g := dirDepth(p, dir)
 	if l == g {
 		newDir, err := t.alloc(dirSize(g + 1))
 		if err != nil {
+			// Nothing is published yet: roll back like a migration
+			// failure. The sibling is leaked.
+			p.StoreU64(oldSeg.Add(segOffSplit), 0)
+			p.Persist(oldSeg.Add(segOffSplit), 8)
 			return err
 		}
 		dirInitDoubled(p, newDir, dir)
@@ -427,25 +768,12 @@ func (t *Table) split(parts hashfn.Parts, oldSeg pmem.Addr) error {
 		t.cacheDouble(newDir)
 	}
 
-	newSeg, err := t.alloc(segmentSize)
-	if err != nil {
-		return err
-	}
-	segInit(p, newSeg, l+1, pat<<1|1)
-	if !segMigrate(p, oldSeg, newSeg, l, t.seed) {
-		return ErrSegmentOverflow
-	}
-	segPersist(p, newSeg)
-	if t.hookAfterSegPersist != nil {
-		t.hookAfterSegPersist()
-	}
-
-	start, span := dirCoverage(g, l, pat)
+	estart, span := dirCoverage(g, l, pat)
 	half := span >> 1
-	for i := start + half; i < start+span; i++ {
+	for i := estart + half; i < estart+span; i++ {
 		dirStoreEntry(p, dir, i, newSeg)
 		p.Persist(dirEntryAddr(dir, i), 8)
-		if t.hookMidPublish != nil && i == start+half {
+		if t.hookMidPublish != nil && i == estart+half {
 			t.hookMidPublish()
 		}
 	}
@@ -453,14 +781,107 @@ func (t *Table) split(parts hashfn.Parts, oldSeg pmem.Addr) error {
 		t.hookAfterPublish()
 	}
 
+	// Metadata bump and marker clear share the header line and persist
+	// once. The directory already routes the moved half to the sibling, so
+	// from here a crash rolls forward through recovery's directory-driven
+	// reconciliation.
+	p.StoreU64(oldSeg.Add(segOffSplit), 0)
 	segSetMeta(p, oldSeg, l+1, pat<<1)
-	segSweep(p, oldSeg, t.seed, func(rp hashfn.Parts, _ pmem.KV) bool {
+	// Sweep by the scan's moved-slot bitmaps wherever the bucket's seqlock
+	// version proves it unchanged since the scan (+1 is our own lock);
+	// mutated buckets and the stash are re-scanned.
+	for bi := 0; bi < totalBuckets; bi++ {
+		sc.kvalid[bi] = bi < normalBuckets &&
+			p.QuietLoadU64(segBucket(oldSeg, bi).Add(bkOffVersion)) == sc.ver[bi]+1
+		if sc.kvalid[bi] {
+			sc.known[bi] = sc.moved[bi]
+		}
+	}
+	segSweepBatched(p, oldSeg, t.seed, func(rp hashfn.Parts, _ pmem.KV) bool {
 		return rp.DepthBit(l)
-	})
-	// Write-through before the deferred bucket unlocks: once writers can get
-	// past the locks, the cache already routes the moved half to newSeg.
-	t.cachePublishSplit(oldSeg, newSeg, l+1, start, span)
+	}, sc.known[:], sc.kvalid[:], t.hookMidSweep)
+	// Write-through before the deferred bucket unlocks: once writers can
+	// get past the locks, the cache already routes the moved half to
+	// newSeg.
+	t.cachePublishSplit(oldSeg, newSeg, l+1, estart, span)
+	t.splits.Add(1)
 	return nil
+}
+
+// splitSibling returns the sibling of an in-flight split of seg when that
+// sibling claims the key's hash, or null. The caller holds the key's bucket
+// locks in seg: a split cannot publish (which is what retires the marker)
+// without those locks, so a non-null sibling stays valid until they are
+// released.
+func (t *Table) splitSibling(seg pmem.Addr, parts hashfn.Parts) pmem.Addr {
+	st := segSplitState(t.pool, seg)
+	if st&splitStateInFlight == 0 {
+		return pmem.Null
+	}
+	sib := splitStateSibling(st)
+	if sib.IsNull() || !segClaims(t.pool, sib, parts) {
+		return pmem.Null
+	}
+	return sib
+}
+
+// assistInsert mirrors a fresh insert into the unpublished sibling of an
+// in-flight split, under the sibling's bucket-pair locks (always acquired
+// after the old segment's — the same two-level order the migrator uses).
+// Reports false when the sibling cannot absorb the copy, i.e. the split is
+// overflowing pathologically. Durability is deferred to the publish's
+// whole-segment persist, like every pre-publish sibling write.
+func (t *Table) assistInsert(sib pmem.Addr, parts hashfn.Parts, kv pmem.KV) bool {
+	// Count before touching the sibling: the migrator reads the counter
+	// under bucket locks ordered after this store, so a nonzero delta is
+	// visible before any duplicate can be.
+	t.splitAssists.Add(1)
+	p := t.pool
+	b := int(parts.BucketIndex(bucketBits))
+	b2 := (b + 1) % normalBuckets
+	lockPair(p, sib, b, b2)
+	// The key is fresh table-wide, but its sibling copy may already exist:
+	// if this insert reused a source slot the migration scan captured under
+	// the same key (delete + reinsert ABA), the migrator's locked re-verify
+	// cannot tell old from new and may have copied it before our counter
+	// bump reached its duplicate gate. Both races resolve through this pair
+	// lock's handoff: whichever of us inserts first, the other's probe sees
+	// it here — so probe before inserting.
+	ok := true
+	if _, dup := segFindLocked(p, sib, parts, kv.Key); !dup {
+		ok = segInsertLocked(p, sib, parts, kv, true, false, t.seed)
+	}
+	unlockPair(p, sib, b, b2)
+	return ok
+}
+
+// assistDelete mirrors a delete into the sibling of an in-flight split: if
+// the migrator already copied the record, the copy must die too or the key
+// would resurrect when the split publishes.
+func (t *Table) assistDelete(sib pmem.Addr, parts hashfn.Parts, key uint64) {
+	p := t.pool
+	b := int(parts.BucketIndex(bucketBits))
+	b2 := (b + 1) % normalBuckets
+	lockPair(p, sib, b, b2)
+	if loc, found := segFindLocked(p, sib, parts, key); found {
+		segDeleteAt(p, sib, parts, loc, true, false)
+	}
+	unlockPair(p, sib, b, b2)
+}
+
+// assistUpdate mirrors an in-place value update into the sibling of an
+// in-flight split, so an already-migrated copy does not revive the old
+// value at publish. A copy the migrator has not made yet needs nothing: it
+// will be read, with this new value, under the home bucket's lock.
+func (t *Table) assistUpdate(sib pmem.Addr, parts hashfn.Parts, key, value uint64) {
+	p := t.pool
+	b := int(parts.BucketIndex(bucketBits))
+	b2 := (b + 1) % normalBuckets
+	lockPair(p, sib, b, b2)
+	if loc, found := segFindLocked(p, sib, parts, key); found {
+		p.WriteValue(recordAddr(segBucket(sib, loc.bucket), loc.slot), value)
+	}
+	unlockPair(p, sib, b, b2)
 }
 
 // recover reconciles the table image after a crash. The directory is the
@@ -560,6 +981,20 @@ func (t *Table) recover() error {
 		for i := 0; i < totalBuckets; i++ {
 			p.StoreU64(segBucket(s.addr, i).Add(bkOffVersion), 0)
 		}
+		// Clear any split-progress marker, finishing or rolling back the
+		// half-migrated split it describes. If the marker's sibling made it
+		// into the directory, the claiming pass above already completed the
+		// flips and metadata and the record sweeps below drop the moved
+		// records' leftovers — the split rolls forward. Otherwise the
+		// sibling was never published: the directory still routes every key
+		// to this segment (which kept all its records; migration only
+		// reads), so the marker clear rolls the split back and the sibling
+		// block is leaked, like an unpublished block under the old
+		// protocol.
+		if p.LoadU64(s.addr.Add(segOffSplit)) != 0 {
+			p.StoreU64(s.addr.Add(segOffSplit), 0)
+			p.Persist(s.addr.Add(segOffSplit), 8)
+		}
 	}
 
 	// Record sweeps, per segment:
@@ -622,7 +1057,7 @@ func (t *Table) sweepStashGhosts(seg pmem.Addr) {
 			if metaOvCount(p.QuietLoadU64(home.Add(bkOffMeta))) > 0 {
 				continue
 			}
-			bucketDeleteLocked(p, sa, slot)
+			bucketDeleteLocked(p, sa, slot, true)
 		}
 	}
 }

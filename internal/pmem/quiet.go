@@ -100,3 +100,15 @@ func (p *Pool) QuietBytes(a Addr, n uint64) []byte {
 	p.check(a, n)
 	return p.data[a : uint64(a)+n : uint64(a)+n]
 }
+
+// QuietZero clears [a, a+n), tracked for crashes but not charged: the mode
+// for formatting an unpublished block whose lines are charged wholesale by
+// the flush that publishes it.
+func (p *Pool) QuietZero(a Addr, n uint64) {
+	p.check(a, n)
+	b := p.data[a : uint64(a)+n]
+	for i := range b {
+		b[i] = 0
+	}
+	p.markDirty(a, n)
+}

@@ -21,6 +21,13 @@ func (p *Pool) ReadKV(a Addr) KV {
 	return KV{Key: p.LoadU64(a), Value: p.LoadU64(a.Add(8))}
 }
 
+// QuietReadKV is ReadKV without accounting, for sequential scans that
+// charged the record's cacheline once via TouchRead (one-charge-per-line
+// discipline; see quiet.go).
+func (p *Pool) QuietReadKV(a Addr) KV {
+	return KV{Key: p.QuietLoadU64(a), Value: p.QuietLoadU64(a.Add(8))}
+}
+
 // WriteKV atomically stores the record at a (8-aligned). Value goes first so
 // that a torn observation under a stale version never pairs the new key with
 // the old value; visibility is in any case gated on the bucket's allocation
