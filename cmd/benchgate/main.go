@@ -1,18 +1,20 @@
 // Command benchgate is the perf-regression gate wired into `make ci` and
-// the hosted CI workflow. It runs one fixed, seeded benchmark cell (small
-// enough for seconds-long CI runs, with the full Optane cost model so PM
-// traffic has a price) and fails — exit status 1 — when a tracked metric
+// the hosted CI workflow. It runs a small set of fixed, seeded benchmark
+// cells (each seconds-long, with the full Optane cost model so PM traffic
+// has a price) and fails — exit status 1 — when any tracked metric
 // regresses past the thresholds committed in bench-gate.json.
 //
-// The thresholds guard the tail-latency and write-traffic wins this repo
-// has banked: p999 and max insert latency (the segment-split stall story)
-// and PM write bytes per op (the persist-batching story), plus a load
-// factor floor so neither can be bought by splitting early. Latency
-// thresholds carry deliberate headroom over locally measured values —
-// shared CI runners are noisy and the cost model charges wall-clock spins —
-// while the per-op traffic thresholds are tight, because they are nearly
-// deterministic. Update bench-gate.json in the same PR as an intentional
-// perf change, with the new measurement in the PR description.
+// The cells guard the wins this repo has banked: the u64-insert cell keeps
+// the inline fast path honest (p999/max insert latency from the
+// incremental-split rework, PM bytes per op from persist batching, plus a
+// load-factor floor so neither can be bought by splitting early), and the
+// var-insert cell guards the variable-length record path through the PM
+// record log. Latency thresholds carry deliberate headroom over locally
+// measured values — shared CI runners are noisy and the cost model charges
+// wall-clock spins — while the per-op traffic thresholds are tight, because
+// they are nearly deterministic. Update bench-gate.json in the same PR as
+// an intentional perf change, with the new measurement in the PR
+// description.
 package main
 
 import (
@@ -27,29 +29,38 @@ import (
 	"dash/internal/workload"
 )
 
+type cellConfig struct {
+	Mix       string  `json:"mix"`
+	Threads   int     `json:"threads"`
+	Ops       int64   `json:"ops"`
+	WarmupOps int64   `json:"warmup_ops"`
+	Keyspace  uint64  `json:"keyspace"`
+	Theta     float64 `json:"theta"`
+	Seed      uint64  `json:"seed"`
+	Scale     int64   `json:"scale"`
+}
+
+type cellThresholds struct {
+	P999NSMax            int64   `json:"p999_ns_max"`
+	MaxNSMax             int64   `json:"max_ns_max"`
+	PMWriteBytesPerOpMax float64 `json:"pm_write_bytes_per_op_max"`
+	PMReadBytesPerOpMax  float64 `json:"pm_read_bytes_per_op_max"`
+	LoadFactorMin        float64 `json:"load_factor_min"`
+}
+
+type gateCell struct {
+	Name       string         `json:"name"`
+	Config     cellConfig     `json:"config"`
+	Thresholds cellThresholds `json:"thresholds"`
+}
+
 type gateFile struct {
-	Description string `json:"description"`
-	Config      struct {
-		Mix       string  `json:"mix"`
-		Threads   int     `json:"threads"`
-		Ops       int64   `json:"ops"`
-		WarmupOps int64   `json:"warmup_ops"`
-		Keyspace  uint64  `json:"keyspace"`
-		Theta     float64 `json:"theta"`
-		Seed      uint64  `json:"seed"`
-		Scale     int64   `json:"scale"`
-	} `json:"config"`
-	Thresholds struct {
-		P999NSMax            int64   `json:"p999_ns_max"`
-		MaxNSMax             int64   `json:"max_ns_max"`
-		PMWriteBytesPerOpMax float64 `json:"pm_write_bytes_per_op_max"`
-		PMReadBytesPerOpMax  float64 `json:"pm_read_bytes_per_op_max"`
-		LoadFactorMin        float64 `json:"load_factor_min"`
-	} `json:"thresholds"`
+	Description string     `json:"description"`
+	Cells       []gateCell `json:"cells"`
 }
 
 func main() {
-	cfgPath := flag.String("config", "bench-gate.json", "gate config + thresholds")
+	cfgPath := flag.String("config", "bench-gate.json", "gate cells + thresholds")
 	flag.Parse()
 
 	// Same GC pacing as dashbench: the gated tail quantiles must measure
@@ -64,63 +75,76 @@ func main() {
 	if err := json.Unmarshal(data, &gf); err != nil {
 		fatal(fmt.Errorf("parse %s: %w", *cfgPath, err))
 	}
-	mix, ok := workload.MixByName(gf.Config.Mix)
-	if !ok {
-		fatal(fmt.Errorf("unknown mix %q in %s", gf.Config.Mix, *cfgPath))
+	if len(gf.Cells) == 0 {
+		fatal(fmt.Errorf("%s declares no gate cells", *cfgPath))
 	}
 
-	cfg := bench.Config{
-		Threads:   gf.Config.Threads,
-		Ops:       gf.Config.Ops,
-		WarmupOps: gf.Config.WarmupOps,
-		Keyspace:  gf.Config.Keyspace,
-		Theta:     gf.Config.Theta,
-		Mix:       mix,
-		Seed:      gf.Config.Seed,
-	}
-	if gf.Config.Scale > 0 {
-		cfg.Model = pmem.ScaledOptane(gf.Config.Scale)
-	}
-	fmt.Printf("benchgate: mix %s, %d threads, %d ops, keyspace %d, seed %d, scale %d\n",
-		mix.Name, cfg.Threads, cfg.Ops, cfg.Keyspace, cfg.Seed, gf.Config.Scale)
-
-	res, err := bench.Run(cfg)
-	if err != nil {
-		fatal(err)
-	}
-
-	th := gf.Thresholds
 	failed := false
-	check := func(name string, got, max float64, tighter string) {
-		status := "ok  "
-		if max > 0 && got > max {
-			status = "FAIL"
+	for _, cell := range gf.Cells {
+		if !runCell(cell) {
 			failed = true
 		}
-		fmt.Printf("  %s %-26s %12.1f  (threshold %s %.1f)\n", status, name, got, tighter, max)
 	}
-	check("p999 insert latency ns", float64(res.P999NS), float64(th.P999NSMax), "<=")
-	check("max insert latency ns", float64(res.MaxNS), float64(th.MaxNSMax), "<=")
-	check("PM write bytes/op", res.WriteBytesPerOp, th.PMWriteBytesPerOpMax, "<=")
-	check("PM read bytes/op", res.ReadBytesPerOp, th.PMReadBytesPerOpMax, "<=")
-	if th.LoadFactorMin > 0 {
-		status := "ok  "
-		if res.Table.LoadFactor < th.LoadFactorMin {
-			status = "FAIL"
-			failed = true
-		}
-		fmt.Printf("  %s %-26s %12.2f  (threshold >= %.2f)\n", status, "load factor", res.Table.LoadFactor, th.LoadFactorMin)
-	}
-	fmt.Printf("  info splits=%d stall_ms=%.2f assists=%d overflows=%d\n",
-		res.Table.Splits, float64(res.Table.SplitStallNS)/1e6,
-		res.Table.SplitAssists, res.Counts.InsertOverflow)
-
 	if failed {
 		fmt.Println("benchgate: FAIL — perf regression past committed thresholds " +
 			"(if intentional, update bench-gate.json in this PR and explain why)")
 		os.Exit(1)
 	}
 	fmt.Println("benchgate: PASS")
+}
+
+func runCell(cell gateCell) bool {
+	mix, ok := workload.MixByName(cell.Config.Mix)
+	if !ok {
+		fatal(fmt.Errorf("unknown mix %q in gate cell %q", cell.Config.Mix, cell.Name))
+	}
+	cfg := bench.Config{
+		Threads:   cell.Config.Threads,
+		Ops:       cell.Config.Ops,
+		WarmupOps: cell.Config.WarmupOps,
+		Keyspace:  cell.Config.Keyspace,
+		Theta:     cell.Config.Theta,
+		Mix:       mix,
+		Seed:      cell.Config.Seed,
+	}
+	if cell.Config.Scale > 0 {
+		cfg.Model = pmem.ScaledOptane(cell.Config.Scale)
+	}
+	fmt.Printf("benchgate[%s]: mix %s, %d threads, %d ops, keyspace %d, seed %d, scale %d\n",
+		cell.Name, mix.Name, cfg.Threads, cfg.Ops, cfg.Keyspace, cfg.Seed, cell.Config.Scale)
+
+	res, err := bench.Run(cfg)
+	if err != nil {
+		fatal(err)
+	}
+
+	th := cell.Thresholds
+	passed := true
+	check := func(name string, got, max float64) {
+		status := "ok  "
+		if max > 0 && got > max {
+			status = "FAIL"
+			passed = false
+		}
+		fmt.Printf("  %s %-26s %12.1f  (threshold <= %.1f)\n", status, name, got, max)
+	}
+	check("p999 insert latency ns", float64(res.P999NS), float64(th.P999NSMax))
+	check("max insert latency ns", float64(res.MaxNS), float64(th.MaxNSMax))
+	check("PM write bytes/op", res.WriteBytesPerOp, th.PMWriteBytesPerOpMax)
+	check("PM read bytes/op", res.ReadBytesPerOp, th.PMReadBytesPerOpMax)
+	if th.LoadFactorMin > 0 {
+		status := "ok  "
+		if res.Table.LoadFactor < th.LoadFactorMin {
+			status = "FAIL"
+			passed = false
+		}
+		fmt.Printf("  %s %-26s %12.2f  (threshold >= %.2f)\n", status, "load factor", res.Table.LoadFactor, th.LoadFactorMin)
+	}
+	fmt.Printf("  info splits=%d stall_ms=%.2f assists=%d overflows=%d too_large=%d log_live_mib=%.1f\n",
+		res.Table.Splits, float64(res.Table.SplitStallNS)/1e6,
+		res.Table.SplitAssists, res.Counts.InsertOverflow, res.Counts.InsertTooLarge,
+		float64(res.Table.LogLiveBytes)/(1<<20))
+	return passed
 }
 
 func fatal(err error) {

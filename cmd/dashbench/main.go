@@ -66,6 +66,14 @@ type cellJSON struct {
 	DirCacheHitRate float64 `json:"dir_cache_hit_rate"`
 	DirCacheBytes   uint64  `json:"dir_cache_bytes"`
 
+	// Record-log shape after the run (variable-length mixes; zero for
+	// pure-inline cells): chunk bytes carved from the pool, live blob
+	// bytes/count, and free-list bytes awaiting reuse.
+	LogChunkBytes uint64 `json:"log_chunk_bytes"`
+	LogLiveBytes  uint64 `json:"log_live_bytes"`
+	LogLiveBlobs  int64  `json:"log_live_blobs"`
+	LogFreeBytes  uint64 `json:"log_free_bytes"`
+
 	// Split telemetry over the measured phase: completed splits, cumulative
 	// publish stall (the stop-the-world exposure), writer assists into
 	// in-flight siblings, and inserts lost to pathological overflow.
@@ -73,6 +81,7 @@ type cellJSON struct {
 	SplitStallNS    int64  `json:"split_stall_ns"`
 	SplitAssists    uint64 `json:"split_assists"`
 	InsertOverflows int64  `json:"insert_overflows"`
+	InsertTooLarge  int64  `json:"insert_too_large"`
 }
 
 type benchJSON struct {
@@ -130,7 +139,7 @@ func main() {
 		*warmup = *ops / 10
 	}
 
-	outJSON := benchJSON{Bench: "dashbench", SchemaVersion: 2}
+	outJSON := benchJSON{Bench: "dashbench", SchemaVersion: 3}
 	outJSON.Config.Keyspace = *keyspace
 	outJSON.Config.Theta = *theta
 	outJSON.Config.OpsPerRun = *ops
@@ -172,6 +181,14 @@ func main() {
 				100*res.Table.DirCacheHitRate, res.Table.Splits)
 			if n := res.Counts.InsertOverflow; n > 0 {
 				fmt.Printf("          ^ %d inserts rejected with segment overflow\n", n)
+			}
+			if n := res.Counts.InsertTooLarge; n > 0 {
+				fmt.Printf("          ^ %d inserts rejected as too large\n", n)
+			}
+			if lb := res.Table.LogLiveBytes; lb > 0 {
+				fmt.Printf("          ^ record log: %.1f MiB live (%d blobs), %.1f MiB free-listed, %.1f MiB chunks\n",
+					float64(lb)/(1<<20), res.Table.LogLiveBlobs,
+					float64(res.Table.LogFreeBytes)/(1<<20), float64(res.Table.LogChunkBytes)/(1<<20))
 			}
 			outJSON.Results = append(outJSON.Results, toCell(res))
 		}
@@ -266,10 +283,16 @@ func toCell(r *bench.Result) cellJSON {
 		DirCacheHitRate: r.Table.DirCacheHitRate,
 		DirCacheBytes:   r.Table.DirCacheBytes,
 
+		LogChunkBytes: r.Table.LogChunkBytes,
+		LogLiveBytes:  r.Table.LogLiveBytes,
+		LogLiveBlobs:  r.Table.LogLiveBlobs,
+		LogFreeBytes:  r.Table.LogFreeBytes,
+
 		Splits:          r.Table.Splits,
 		SplitStallNS:    r.Table.SplitStallNS,
 		SplitAssists:    r.Table.SplitAssists,
 		InsertOverflows: r.Counts.InsertOverflow,
+		InsertTooLarge:  r.Counts.InsertTooLarge,
 	}
 }
 

@@ -59,6 +59,10 @@ type Counts struct {
 	// rather than aborting the run, so a cell that sheds load under a
 	// skewed keyspace is visible instead of silently dropped.
 	InsertOverflow int64
+	// InsertTooLarge counts inserts rejected with ErrRecordTooLarge
+	// (oversized key/value for the record log). Like overflows they add no
+	// record and are reported rather than aborting the cell.
+	InsertTooLarge int64
 	ReadHit        int64
 	ReadMiss       int64 // positive-read misses (deleted by a delete-bearing mix)
 	NegHit         int64 // negative reads that found a key (should be 0)
@@ -133,9 +137,21 @@ func Run(cfg Config) (*Result, error) {
 	}
 	defer tb.Close()
 
-	for i := uint64(0); i < cfg.Keyspace; i++ {
-		if err := tb.Insert(workload.PreloadKey(i), i); err != nil {
-			return nil, fmt.Errorf("bench: preload key %d: %w", i, err)
+	if vs := cfg.Mix.Var; vs != nil {
+		var kbuf, vbuf []byte
+		for i := uint64(0); i < cfg.Keyspace; i++ {
+			k := workload.PreloadKey(i)
+			kbuf = vs.AppendKey(kbuf[:0], k)
+			vbuf = vs.AppendValue(vbuf[:0], k, 0)
+			if err := tb.InsertB(kbuf, vbuf); err != nil {
+				return nil, fmt.Errorf("bench: preload key %d: %w", i, err)
+			}
+		}
+	} else {
+		for i := uint64(0); i < cfg.Keyspace; i++ {
+			if err := tb.Insert(workload.PreloadKey(i), i); err != nil {
+				return nil, fmt.Errorf("bench: preload key %d: %w", i, err)
+			}
 		}
 	}
 
@@ -147,7 +163,7 @@ func Run(cfg Config) (*Result, error) {
 
 	workers := make([]*worker, cfg.Threads)
 	for w := range workers {
-		workers[w] = &worker{table: tb, stream: gen.Stream(w)}
+		workers[w] = &worker{table: tb, stream: gen.Stream(w), varSpec: cfg.Mix.Var}
 	}
 
 	if cfg.WarmupOps > 0 {
@@ -231,12 +247,22 @@ func Run(cfg Config) (*Result, error) {
 // poolSize returns cfg.PoolSize or a size derived from the record volume the
 // run can reach. 64 bytes per record covers the segment layout down to ~27%
 // load factor (the post-split trough), plus directory blocks and slack.
+// Variable-length mixes additionally budget each record's log blob at its
+// worst-case capacity (updates copy-on-write, but superseded blobs recycle
+// through the free list, so live log space stays ~one blob per record).
 func (cfg Config) poolSize() uint64 {
 	if cfg.PoolSize != 0 {
 		return cfg.PoolSize
 	}
 	inserts := uint64((cfg.Ops + cfg.WarmupOps) * int64(cfg.Mix.Percent[workload.OpInsert]) / 100)
 	size := (cfg.Keyspace+inserts)*64 + 8<<20
+	if vs := cfg.Mix.Var; vs != nil {
+		blob := uint64(16+vs.MaxKeyLen+vs.MaxValLen+15) &^ 15
+		// Budget a worst-case blob per record plus per update (capacity
+		// classes don't always line up for free-list reuse).
+		updates := uint64((cfg.Ops + cfg.WarmupOps) * int64(cfg.Mix.Percent[workload.OpUpdate]) / 100)
+		size += (cfg.Keyspace + inserts + updates) * blob
+	}
 	return size
 }
 
@@ -245,6 +271,13 @@ type worker struct {
 	stream *workload.Stream
 	hist   Hist
 	counts Counts
+
+	// Variable-length mode: non-nil varSpec switches apply to the []byte
+	// API, encoding keys/values into the reusable buffers below so the
+	// measured phase stays allocation-free.
+	varSpec    *workload.VarSpec
+	kbuf, vbuf []byte
+	updateSalt uint64
 }
 
 // runPhase drives every worker through its share of totalOps operations,
@@ -301,6 +334,9 @@ func (w *worker) run(ops int64, measured bool, stopped *atomic.Bool) error {
 }
 
 func (w *worker) apply(op workload.Op) error {
+	if w.varSpec != nil {
+		return w.applyVar(op)
+	}
 	c := &w.counts
 	switch op.Kind {
 	case workload.OpInsert:
@@ -327,7 +363,11 @@ func (w *worker) apply(op workload.Op) error {
 			c.NegMiss++
 		}
 	case workload.OpUpdate:
-		if w.table.Update(op.Key, op.Key+1) {
+		ok, err := w.table.Update(op.Key, op.Key+1)
+		if err != nil {
+			return err
+		}
+		if ok {
 			c.UpdateOK++
 		} else {
 			c.UpdateNF++
@@ -344,10 +384,74 @@ func (w *worker) apply(op workload.Op) error {
 	return nil
 }
 
+// applyVar drives one operation through the variable-length []byte API,
+// encoding the abstract key deterministically via the mix's VarSpec.
+func (w *worker) applyVar(op workload.Op) error {
+	c := &w.counts
+	vs := w.varSpec
+	w.kbuf = vs.AppendKey(w.kbuf[:0], op.Key)
+	switch op.Kind {
+	case workload.OpInsert:
+		w.vbuf = vs.AppendValue(w.vbuf[:0], op.Key, 0)
+		switch err := w.table.InsertB(w.kbuf, w.vbuf); {
+		case err == nil:
+			c.InsertOK++
+		case errors.Is(err, core.ErrKeyExists):
+			c.InsertDup++
+		case errors.Is(err, core.ErrSegmentOverflow):
+			c.InsertOverflow++
+		case errors.Is(err, core.ErrRecordTooLarge):
+			c.InsertTooLarge++
+		default:
+			return err
+		}
+	case workload.OpRead:
+		v, ok := w.table.GetBAppend(w.vbuf[:0], w.kbuf)
+		w.vbuf = v[:0]
+		if ok {
+			c.ReadHit++
+		} else {
+			c.ReadMiss++
+		}
+	case workload.OpReadNeg:
+		v, ok := w.table.GetBAppend(w.vbuf[:0], w.kbuf)
+		w.vbuf = v[:0]
+		if ok {
+			c.NegHit++
+		} else {
+			c.NegMiss++
+		}
+	case workload.OpUpdate:
+		// A fresh salt per update changes the value's content and usually
+		// its length, exercising the copy-on-write path.
+		w.updateSalt++
+		w.vbuf = vs.AppendValue(w.vbuf[:0], op.Key, w.updateSalt)
+		ok, err := w.table.UpdateB(w.kbuf, w.vbuf)
+		if err != nil {
+			return err
+		}
+		if ok {
+			c.UpdateOK++
+		} else {
+			c.UpdateNF++
+		}
+	case workload.OpDelete:
+		if w.table.DeleteB(w.kbuf) {
+			c.DeleteOK++
+		} else {
+			c.DeleteNF++
+		}
+	default:
+		return fmt.Errorf("bench: unknown op kind %v", op.Kind)
+	}
+	return nil
+}
+
 func (c *Counts) add(o *Counts) {
 	c.InsertOK += o.InsertOK
 	c.InsertDup += o.InsertDup
 	c.InsertOverflow += o.InsertOverflow
+	c.InsertTooLarge += o.InsertTooLarge
 	c.ReadHit += o.ReadHit
 	c.ReadMiss += o.ReadMiss
 	c.NegHit += o.NegHit

@@ -115,3 +115,55 @@ func TestRunRejectsBadConfig(t *testing.T) {
 		t.Error("ops=0 accepted")
 	}
 }
+
+// TestSmokeVarMixes drives the variable-length mixes end to end through
+// the []byte API: preload via InsertB, reads that must all hit, updates
+// that copy-on-write, and the record-log space accounting surfaced in the
+// result.
+func TestSmokeVarMixes(t *testing.T) {
+	res, err := Run(Config{
+		Threads:   2,
+		Ops:       6_000,
+		WarmupOps: 600,
+		Keyspace:  2_048,
+		Mix:       mixFor(t, "var-ycsb-b"),
+		Seed:      42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := res.Counts
+	if c.ReadMiss != 0 {
+		t.Errorf("positive var reads missed %d times", c.ReadMiss)
+	}
+	if c.UpdateOK == 0 {
+		t.Error("var-ycsb-b performed no updates")
+	}
+	if c.UpdateNF != 0 {
+		t.Errorf("%d var updates reported not-found", c.UpdateNF)
+	}
+	if res.Table.LogLiveBytes == 0 || res.Table.LogChunkBytes == 0 {
+		t.Errorf("var cell reported no record-log space: %+v", res.Table)
+	}
+	if res.Table.LogLiveBlobs < int64(res.Counts.Preloaded) {
+		t.Errorf("live blobs %d < preloaded %d", res.Table.LogLiveBlobs, res.Counts.Preloaded)
+	}
+
+	ins, err := Run(Config{
+		Threads:   2,
+		Ops:       4_000,
+		WarmupOps: 400,
+		Keyspace:  1_024,
+		Mix:       mixFor(t, "var-insert"),
+		Seed:      7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ins.Counts.InsertOK != 4_400 {
+		t.Errorf("var inserts ok = %d, want 4400", ins.Counts.InsertOK)
+	}
+	if ins.Counts.InsertDup != 0 || ins.Counts.InsertTooLarge != 0 {
+		t.Errorf("var inserts: dup=%d too_large=%d", ins.Counts.InsertDup, ins.Counts.InsertTooLarge)
+	}
+}

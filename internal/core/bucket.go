@@ -25,7 +25,14 @@ import (
 //	word 2 (off 16): fingerprints of slots 0..7
 //	word 3 (off 24): bytes 0..5 fingerprints of slots 8..13
 //	                 byte 6: overflow stash indexes, 2 bits per overflow slot
-//	records (off 32): 14 × 16-byte KV records
+//	records (off 32): 14 × 16-byte records, each either an inline 8B/8B KV
+//	                 or an indirect (log blob address | key-length class,
+//	                 full key hash) pair — see record.go
+//
+// The two record words are still stored value-word-first and probed
+// fingerprint-first whatever the representation; word 0's bit 63
+// discriminates inline from indirect, and every publish/commit path below
+// is representation-blind.
 const (
 	bucketSize     = 256
 	slotsPerBucket = 14
@@ -157,15 +164,18 @@ func unlockBucket(p *pmem.Pool, b pmem.Addr) {
 
 // bucketFindLocked probes fingerprint-first: only slots whose one-byte
 // fingerprint matches are dereferenced, bounding PM reads per probe (§4.1).
-func bucketFindLocked(p *pmem.Pool, b pmem.Addr, fp uint8, key uint64) int {
+// The record comparison is representation-agnostic (record.go): inline
+// slots compare the key word, indirect slots compare the stored full hash
+// and then the log blob.
+func bucketFindLocked(p *pmem.Pool, vl *pmem.VarLog, b pmem.Addr, pk *probeKey) int {
 	m := p.QuietLoadU64(b.Add(bkOffMeta))
 	lo := p.QuietLoadU64(b.Add(bkOffFPLo))
 	hi := p.QuietLoadU64(b.Add(bkOffFPHi))
 	for slot := 0; slot < slotsPerBucket; slot++ {
-		if !metaSlotUsed(m, slot) || fpGet(lo, hi, slot) != fp {
+		if !metaSlotUsed(m, slot) || fpGet(lo, hi, slot) != pk.parts.FP {
 			continue
 		}
-		if p.ReadKey(recordAddr(b, slot)) == key {
+		if _, ok := recProbe(p, vl, recordAddr(b, slot), pk); ok {
 			return slot
 		}
 	}
@@ -298,14 +308,20 @@ func findTrackedSlot(p *pmem.Pool, b pmem.Addr, fp uint8, stashIdx int) int {
 
 // bucketSearchOpt scans one bucket without taking its lock. It loops until a
 // scan completes under an unchanged even version (seqlock read), so the
-// returned result — and the header words handed back for overflow-probing
-// decisions — form a consistent snapshot.
+// returned record words — and the header words handed back for
+// overflow-probing decisions — form a consistent snapshot. A matched
+// indirect record's blob may be dereferenced during the scan and again by
+// the caller: blob bytes are immutable from commit until epoch reclamation,
+// and the caller holds an epoch guard, so the bytes cannot change or be
+// reused underneath either read; a match found through a slot that mutated
+// mid-scan is discarded by the version recheck like any other stale read.
 //
 // Accounting follows the one-charge-per-line discipline: the version load
 // pays for the header cacheline, so the meta/fingerprint words sharing that
 // line are read quietly — a probe is charged one header line plus one line
-// per fingerprint-matched record it dereferences.
-func bucketSearchOpt(p *pmem.Pool, b pmem.Addr, fp uint8, key uint64) (val uint64, found bool, m, hi uint64) {
+// per fingerprint-matched record it dereferences (plus the blob read on a
+// full-hash match).
+func bucketSearchOpt(p *pmem.Pool, vl *pmem.VarLog, b pmem.Addr, pk *probeKey) (kv pmem.KV, found bool, m, hi uint64) {
 	va := b.Add(bkOffVersion)
 	for {
 		v := p.LoadU64(va)
@@ -316,14 +332,13 @@ func bucketSearchOpt(p *pmem.Pool, b pmem.Addr, fp uint8, key uint64) (val uint6
 		m = p.QuietLoadU64(b.Add(bkOffMeta))
 		lo := p.QuietLoadU64(b.Add(bkOffFPLo))
 		hi = p.QuietLoadU64(b.Add(bkOffFPHi))
-		val, found = 0, false
+		kv, found = pmem.KV{}, false
 		for slot := 0; slot < slotsPerBucket; slot++ {
-			if !metaSlotUsed(m, slot) || fpGet(lo, hi, slot) != fp {
+			if !metaSlotUsed(m, slot) || fpGet(lo, hi, slot) != pk.parts.FP {
 				continue
 			}
-			kv := p.ReadKV(recordAddr(b, slot))
-			if kv.Key == key {
-				val, found = kv.Value, true
+			if r, ok := recProbe(p, vl, recordAddr(b, slot), pk); ok {
+				kv, found = r, true
 				break
 			}
 		}

@@ -75,7 +75,7 @@ func TestConcurrentMixedOps(t *testing.T) {
 						return
 					}
 				case 1:
-					if !tbl.Update(key, key+2) {
+					if ok, err := tbl.Update(key, key+2); !ok || err != nil {
 						t.Errorf("writer %d: Update(%d) reported missing", w, key)
 						return
 					}
@@ -152,7 +152,7 @@ func TestConcurrentSameKeys(t *testing.T) {
 				case 1:
 					tbl.Delete(key)
 				case 2:
-					tbl.Update(key, key*10)
+					tbl.Update(key, key*10) // racing mutator; outcome observed via Get below
 				case 3:
 					if v, ok := tbl.Get(key); ok && v != key*10 {
 						t.Errorf("key %d has impossible value %d", key, v)

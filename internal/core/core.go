@@ -3,9 +3,16 @@
 // VLDB 2020) as a stack of four layers, each in its own file with a narrow
 // interface onto the one below:
 //
-//	table.go     — public Insert/Get/Delete/Update API; optimistic lock-free
-//	               readers guarded by epoch.Manager, writers taking bucket
-//	               version locks; split orchestration and crash recovery.
+//	table.go     — public Insert/Get/Delete/Update (uint64) and
+//	               InsertB/GetB/DeleteB/UpdateB ([]byte) APIs — two views of
+//	               one keyspace; optimistic lock-free readers guarded by
+//	               epoch.Manager, writers taking bucket version locks; split
+//	               orchestration and crash recovery.
+//	record.go    — the slot-word contract: a bucket slot holds either an
+//	               inline 8B/8B record or a packed pointer (blob address |
+//	               key-length class, full key hash) into the pmem.VarLog,
+//	               discriminated by one bit; all routing reads record words
+//	               only, so resizes never touch blob bytes.
 //	directory.go — extendible-hashing directory: global depth + 2^depth
 //	               segment pointers indexed by the hash's MSBs, doubled via
 //	               an atomic root-pointer flip. The PM block is the

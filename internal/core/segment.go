@@ -139,36 +139,66 @@ type recLoc struct {
 
 func (l recLoc) inStash() bool { return l.bucket >= normalBuckets }
 
-// segFindLocked locates key while the caller holds the home pair's locks.
-// Stash buckets are scanned without their locks: records of this home cannot
-// move (we hold the home lock, which every stash mutation of this home
-// takes), and records of other homes can never alias our key.
-func segFindLocked(p *pmem.Pool, seg pmem.Addr, parts hashfn.Parts, key uint64) (recLoc, bool) {
-	b := int(parts.BucketIndex(bucketBits))
+// segFindLocked locates the probe's key while the caller holds the home
+// pair's locks. Stash buckets are scanned without their locks: records of
+// this home cannot move (we hold the home lock, which every stash mutation
+// of this home takes), and records of other homes can never alias our key.
+func segFindLocked(p *pmem.Pool, vl *pmem.VarLog, seg pmem.Addr, pk *probeKey) (recLoc, bool) {
+	b := int(pk.parts.BucketIndex(bucketBits))
 	b2 := (b + 1) % normalBuckets
-	if slot := bucketFindLocked(p, segBucket(seg, b), parts.FP, key); slot >= 0 {
+	if slot := bucketFindLocked(p, vl, segBucket(seg, b), pk); slot >= 0 {
 		return recLoc{bucket: b, slot: slot, tracked: -1}, true
 	}
-	if slot := bucketFindLocked(p, segBucket(seg, b2), parts.FP, key); slot >= 0 {
+	if slot := bucketFindLocked(p, vl, segBucket(seg, b2), pk); slot >= 0 {
 		return recLoc{bucket: b2, slot: slot, tracked: -1}, true
 	}
 	ba := segBucket(seg, b)
 	m := p.QuietLoadU64(ba.Add(bkOffMeta)) // header line paid by the caller's lock
 	hi := p.QuietLoadU64(ba.Add(bkOffFPHi))
 	for i := 0; i < maxOvSlots; i++ {
-		if !metaOvSlotUsed(m, i) || metaOvFP(m, i) != parts.FP {
+		if !metaOvSlotUsed(m, i) || metaOvFP(m, i) != pk.parts.FP {
 			continue
 		}
 		j := ovIdxGet(hi, i)
-		if slot := bucketFindLocked(p, segBucket(seg, normalBuckets+j), parts.FP, key); slot >= 0 {
+		if slot := bucketFindLocked(p, vl, segBucket(seg, normalBuckets+j), pk); slot >= 0 {
 			return recLoc{bucket: normalBuckets + j, slot: slot, tracked: i}, true
 		}
 	}
 	if metaOvCount(m) > 0 {
 		for j := 0; j < stashBuckets; j++ {
-			if slot := bucketFindLocked(p, segBucket(seg, normalBuckets+j), parts.FP, key); slot >= 0 {
+			if slot := bucketFindLocked(p, vl, segBucket(seg, normalBuckets+j), pk); slot >= 0 {
 				return recLoc{bucket: normalBuckets + j, slot: slot, tracked: -1}, true
 			}
+		}
+	}
+	return recLoc{}, false
+}
+
+// segFindW0Locked locates the record whose word 0 equals w0 exactly — the
+// physical-identity lookup the representation-conversion rollback needs to
+// pick the *new* of two same-key records apart (word 0 is unique per
+// record: an inline key exists at most once and a blob address is never
+// shared between live records of one segment). Caller holds the home
+// pair's locks; parts are the record's hash parts.
+func segFindW0Locked(p *pmem.Pool, seg pmem.Addr, parts hashfn.Parts, w0 uint64) (recLoc, bool) {
+	b := int(parts.BucketIndex(bucketBits))
+	candidates := make([]int, 0, 2+stashBuckets)
+	candidates = append(candidates, b, (b+1)%normalBuckets)
+	for j := 0; j < stashBuckets; j++ {
+		candidates = append(candidates, normalBuckets+j)
+	}
+	for ci, bi := range candidates {
+		ba := segBucket(seg, bi)
+		m := p.QuietLoadU64(ba.Add(bkOffMeta))
+		for slot := 0; slot < slotsPerBucket; slot++ {
+			if !metaSlotUsed(m, slot) || p.QuietLoadU64(recordAddr(ba, slot)) != w0 {
+				continue
+			}
+			loc := recLoc{bucket: bi, slot: slot, tracked: -1}
+			if ci >= 2 {
+				loc.tracked = findTrackedSlot(p, segBucket(seg, b), parts.FP, bi-normalBuckets)
+			}
+			return loc, true
 		}
 	}
 	return recLoc{}, false
@@ -222,7 +252,7 @@ func segInsertLocked(p *pmem.Pool, seg pmem.Addr, parts hashfn.Parts, kv pmem.KV
 					continue
 				}
 				vict := p.ReadKV(recordAddr(b2a, slot))
-				vp := hashfn.Split(hashfn.HashU64(vict.Key, seed))
+				vp := recSplitParts(vict, seed)
 				if int(vp.BucketIndex(bucketBits)) != b2 {
 					continue
 				}
@@ -284,34 +314,37 @@ func segDeleteAt(p *pmem.Pool, seg pmem.Addr, parts hashfn.Parts, loc recLoc, co
 // segSearchOpt is the lock-free read path: probe the candidate pair
 // fingerprint-first, then follow the home bucket's overflow metadata into
 // the stash. Each bucket scan is individually version-stable; cross-bucket
-// races are caught by the table layer's directory revalidation.
-func segSearchOpt(p *pmem.Pool, seg pmem.Addr, parts hashfn.Parts, key uint64) (uint64, bool) {
-	b := int(parts.BucketIndex(bucketBits))
+// races are caught by the table layer's directory revalidation. The match
+// is returned as the raw record words — the caller extracts the value in
+// whichever representation it needs (blob bytes stay valid under its epoch
+// guard).
+func segSearchOpt(p *pmem.Pool, vl *pmem.VarLog, seg pmem.Addr, pk *probeKey) (pmem.KV, bool) {
+	b := int(pk.parts.BucketIndex(bucketBits))
 	b2 := (b + 1) % normalBuckets
-	val, found, m, hi := bucketSearchOpt(p, segBucket(seg, b), parts.FP, key)
+	kv, found, m, hi := bucketSearchOpt(p, vl, segBucket(seg, b), pk)
 	if found {
-		return val, true
+		return kv, true
 	}
-	if v2, f2, _, _ := bucketSearchOpt(p, segBucket(seg, b2), parts.FP, key); f2 {
-		return v2, true
+	if kv2, f2, _, _ := bucketSearchOpt(p, vl, segBucket(seg, b2), pk); f2 {
+		return kv2, true
 	}
 	for i := 0; i < maxOvSlots; i++ {
-		if !metaOvSlotUsed(m, i) || metaOvFP(m, i) != parts.FP {
+		if !metaOvSlotUsed(m, i) || metaOvFP(m, i) != pk.parts.FP {
 			continue
 		}
 		j := ovIdxGet(hi, i)
-		if v, f, _, _ := bucketSearchOpt(p, segBucket(seg, normalBuckets+j), parts.FP, key); f {
-			return v, true
+		if kv2, f2, _, _ := bucketSearchOpt(p, vl, segBucket(seg, normalBuckets+j), pk); f2 {
+			return kv2, true
 		}
 	}
 	if metaOvCount(m) > 0 {
 		for j := 0; j < stashBuckets; j++ {
-			if v, f, _, _ := bucketSearchOpt(p, segBucket(seg, normalBuckets+j), parts.FP, key); f {
-				return v, true
+			if kv2, f2, _, _ := bucketSearchOpt(p, vl, segBucket(seg, normalBuckets+j), pk); f2 {
+				return kv2, true
 			}
 		}
 	}
-	return 0, false
+	return pmem.KV{}, false
 }
 
 // segSweep deletes every record for which drop returns true, fixing stash
@@ -328,7 +361,7 @@ func segSweep(p *pmem.Pool, seg pmem.Addr, seed uint64, drop func(parts hashfn.P
 				continue
 			}
 			kv := p.ReadKV(recordAddr(ba, slot))
-			parts := hashfn.Split(hashfn.HashU64(kv.Key, seed))
+			parts := recSplitParts(kv, seed)
 			if !drop(parts, kv) {
 				continue
 			}
@@ -386,7 +419,7 @@ func segSweepBatched(p *pmem.Pool, seg pmem.Addr, seed uint64, drop func(parts h
 				continue
 			}
 			kv := p.QuietReadKV(recordAddr(ba, slot))
-			parts := hashfn.Split(hashfn.HashU64(kv.Key, seed))
+			parts := recSplitParts(kv, seed)
 			if !drop(parts, kv) {
 				continue
 			}

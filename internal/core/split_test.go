@@ -210,7 +210,7 @@ func TestWritersDuringSplitMigration(t *testing.T) {
 				}
 				delete(state, k)
 			case k%7 == 0:
-				if !tbl.Update(k, k+1000000) {
+				if ok, err := tbl.Update(k, k+1000000); !ok || err != nil {
 					t.Errorf("mid-split update %d reported missing", k)
 				}
 				state[k] = k + 1000000

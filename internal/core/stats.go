@@ -53,6 +53,15 @@ type TableStats struct {
 	// directory entry.
 	DirCacheBytes uint64
 
+	// Record-log (varlog) space accounting, for variable-length records:
+	// pool bytes held by log chunks, capacity of live (committed,
+	// referenced) blobs and their count, and capacity parked on the DRAM
+	// free list awaiting reuse.
+	LogChunkBytes uint64
+	LogLiveBytes  uint64
+	LogLiveBlobs  int64
+	LogFreeBytes  uint64
+
 	// Splits counts completed segment splits since Create/Open. Windowed
 	// consumers (internal/bench) subtract a baseline snapshot.
 	Splits uint64
@@ -96,7 +105,8 @@ func (t *Table) Stats() TableStats {
 		}
 	}
 
-	hits, misses := t.cache.hits.Load(), t.cache.misses.Load()
+	hits, misses := t.cache.hits.total(), t.cache.misses.total()
+	lg := t.vlog.Stats()
 	st := TableStats{
 		Count:            t.count.Load(),
 		GlobalDepth:      v.depth,
@@ -109,6 +119,10 @@ func (t *Table) Stats() TableStats {
 		DirCacheHitRate:  1,
 		DirCacheRebuilds: t.cache.rebuilds.Load(),
 		DirCacheBytes:    8 * uint64(len(v.entries)),
+		LogChunkBytes:    lg.ChunkBytes,
+		LogLiveBytes:     lg.LiveBytes,
+		LogLiveBlobs:     lg.LiveBlobs,
+		LogFreeBytes:     lg.FreeBytes,
 		Splits:           t.splits.Load(),
 		SplitStallNS:     t.splitStallNS.Load(),
 		SplitAssists:     t.splitAssists.Load(),

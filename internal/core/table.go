@@ -1,6 +1,7 @@
 package core
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"math/bits"
@@ -60,10 +61,11 @@ const (
 	rootOffSeed     = 16
 	rootOffDir      = 24 // atomic: current directory block
 	rootOffAllocNxt = 32 // atomic: bump-allocator frontier
+	rootOffVarLog   = 40 // head of the variable-length record log's chunk chain
 
 	tableMagic  = 0x44617368454831 // "DashEH1"
-	tableFormat = 1
-	allocStart  = 256 // first allocatable offset; keeps blocks 256-aligned
+	tableFormat = 2                // 2 = indirect (varlog) record format
+	allocStart  = 256              // first allocatable offset; keeps blocks 256-aligned
 	allocAlign  = 256
 )
 
@@ -77,6 +79,11 @@ var (
 	// ErrSegmentOverflow reports the pathological case that a splitting
 	// segment's keys all land on one side and overflow the new half.
 	ErrSegmentOverflow = errors.New("core: segment overflow during split")
+	// ErrRecordTooLarge is returned by the []byte-keyed mutators when a key
+	// or value exceeds the record log's per-blob bounds
+	// (pmem.MaxVarKeyLen / pmem.MaxVarValueLen) — rejected up front rather
+	// than risking a log entry a chunk cannot hold.
+	ErrRecordTooLarge = errors.New("core: record exceeds max blob size")
 )
 
 // Options configures Create.
@@ -93,6 +100,13 @@ type Table struct {
 	pool *pmem.Pool
 	em   *epoch.Manager
 	seed uint64
+
+	// vlog is the PM record log holding every variable-length (and every
+	// bit-63-keyed uint64) record's key/value blob; bucket slots reference
+	// blobs by packed address (record.go). Freed blobs are epoch-deferred
+	// like retired directory blocks so lock-free readers never dereference
+	// reused bytes.
+	vlog *pmem.VarLog
 
 	// cache is the DRAM-resident mirror of the PM directory (dircache.go),
 	// the first stop of every operation's key → segment routing.
@@ -129,6 +143,14 @@ type Table struct {
 	hookMidPublish      func()                          // first directory entry of a multi-entry flip persisted
 	hookAfterPublish    func()                          // all entries flipped, old-segment meta/sweep pending
 	hookMidSweep        func()                          // first swept bucket persisted, rest pending
+
+	// Varlog crash hooks, the record-log counterparts: after a blob's
+	// bytes persist but before its commit word, after commit but before
+	// any slot references it, and mid-copy-on-write-update (new blob
+	// committed, slot word not yet flipped).
+	hookVarAppended  func()
+	hookVarCommitted func()
+	hookVarMidUpdate func()
 }
 
 type freeSpan struct {
@@ -151,7 +173,9 @@ func Create(pool *pmem.Pool, opt Options) (*Table, error) {
 	p.WriteU64(rootAddr.Add(rootOffFormat), tableFormat)
 	p.WriteU64(rootAddr.Add(rootOffSeed), opt.Seed)
 	p.StoreU64(rootAddr.Add(rootOffAllocNxt), allocStart)
+	p.WriteU64(rootAddr.Add(rootOffVarLog), 0) // record log grows lazily
 	p.Persist(rootAddr, pmem.CachelineSize)
+	t.vlog = pmem.NewVarLog(p, rootAddr.Add(rootOffVarLog), 0, t.alloc)
 
 	nseg := 1 << opt.InitialDepth
 	segs := make([]pmem.Addr, nseg)
@@ -194,6 +218,7 @@ func Open(pool *pmem.Pool) (*Table, error) {
 		em:   epoch.NewManager(),
 		seed: p.ReadU64(rootAddr.Add(rootOffSeed)),
 	}
+	t.vlog = pmem.NewVarLog(p, rootAddr.Add(rootOffVarLog), 0, t.alloc)
 	if err := t.recover(); err != nil {
 		return nil, err
 	}
@@ -291,12 +316,94 @@ func (t *Table) validateRoute(parts hashfn.Parts, seg pmem.Addr) bool {
 }
 
 // Insert adds key → value. It fails with ErrKeyExists if the key is present
-// and ErrPoolFull if the pool cannot grow the table any further.
+// and ErrPoolFull if the pool cannot grow the table any further. Keys with
+// bit 63 clear are stored inline (the original fixed-record fast path);
+// bit-63 keys cannot use the inline format (its discriminator bit) and
+// route through the record log as 8-byte blobs.
 func (t *Table) Insert(key, value uint64) error {
 	g := t.em.Enter()
 	defer g.Exit()
+	if key&recIndirectBit != 0 {
+		var kb, vb [8]byte
+		binary.LittleEndian.PutUint64(kb[:], key)
+		binary.LittleEndian.PutUint64(vb[:], value)
+		pk := t.probeU64(key)
+		return t.insertIndirect(&pk, kb[:], vb[:])
+	}
+	pk := t.probeU64(key)
+	return t.insertKV(&pk, pmem.KV{Key: key, Value: value})
+}
+
+// InsertB adds a variable-length record. Keys must be non-empty; keys and
+// values past the log bounds fail with ErrRecordTooLarge. An 8-byte key is
+// the same key as its little-endian uint64 (the two APIs are views of one
+// keyspace), and an 8-byte-key/8-byte-value record whose key has bit 63
+// clear is stored inline, taking the fixed-record fast path.
+func (t *Table) InsertB(key, value []byte) error {
+	g := t.em.Enter()
+	defer g.Exit()
+	if len(key) == 0 || len(key) > pmem.MaxVarKeyLen || len(value) > pmem.MaxVarValueLen {
+		return ErrRecordTooLarge
+	}
+	pk := t.probeBytes(key)
+	if len(key) == 8 && len(value) == 8 {
+		if k := binary.LittleEndian.Uint64(key); k&recIndirectBit == 0 {
+			return t.insertKV(&pk, pmem.KV{Key: k, Value: binary.LittleEndian.Uint64(value)})
+		}
+	}
+	return t.insertIndirect(&pk, key, value)
+}
+
+// insertIndirect writes the blob (with the crash hooks between its persist,
+// commit and publication) and inserts the packed record. The blob is
+// allocated before any lock is taken and survives split retries; it is
+// returned to the log on any failure. On most failures (duplicate key,
+// pool exhaustion) the record was never published, no reader can hold the
+// blob, and the free is immediate — but the ErrSegmentOverflow rollback
+// deleted a record that WAS transiently published (a stash placement
+// releases the stash-bucket lock before the rollback, and readers reach
+// the stash through preexisting overflow metadata), so that path must
+// epoch-retire the blob like any other reader-reachable free.
+func (t *Table) insertIndirect(pk *probeKey, key, value []byte) error {
+	blob, err := t.vlog.Append(key, value)
+	if err != nil {
+		return t.mapLogErr(err)
+	}
+	if t.hookVarAppended != nil {
+		t.hookVarAppended()
+	}
+	t.vlog.Commit(blob)
+	if t.hookVarCommitted != nil {
+		t.hookVarCommitted()
+	}
+	kv := pmem.KV{Key: recPack(blob, len(key)), Value: pk.parts.Hash}
+	if err := t.insertKV(pk, kv); err != nil {
+		if errors.Is(err, ErrSegmentOverflow) {
+			t.retireBlob(blob)
+		} else {
+			t.vlog.Free(blob)
+		}
+		return err
+	}
+	return nil
+}
+
+func (t *Table) mapLogErr(err error) error {
+	if errors.Is(err, pmem.ErrBlobTooLarge) {
+		return ErrRecordTooLarge
+	}
+	if errors.Is(err, ErrPoolFull) {
+		return ErrPoolFull
+	}
+	return err
+}
+
+// insertKV is the shared insert protocol: route, lock, validate, duplicate
+// check by canonical key, representation-blind slot insert, split-assist
+// mirror, or split-and-retry.
+func (t *Table) insertKV(pk *probeKey, kv pmem.KV) error {
 	p := t.pool
-	parts := t.parts(key)
+	parts := pk.parts
 	b := int(parts.BucketIndex(bucketBits))
 	b2 := (b + 1) % normalBuckets
 	for {
@@ -304,22 +411,21 @@ func (t *Table) Insert(key, value uint64) error {
 		lockPair(p, seg, b, b2)
 		if !t.validateRoute(parts, seg) {
 			unlockPair(p, seg, b, b2)
-			t.cache.misses.Add(1)
+			t.cache.misses.add()
 			t.cacheRepair(parts)
 			continue
 		}
-		t.cache.hits.Add(1)
-		if _, found := segFindLocked(p, seg, parts, key); found {
+		t.cache.hits.add()
+		if _, found := segFindLocked(p, t.vlog, seg, pk); found {
 			unlockPair(p, seg, b, b2)
 			return ErrKeyExists
 		}
-		kv := pmem.KV{Key: key, Value: value}
 		if segInsertLocked(p, seg, parts, kv, true, true, t.seed) {
-			if sib := t.splitSibling(seg, parts); !sib.IsNull() && !t.assistInsert(sib, parts, kv) {
+			if sib := t.splitSibling(seg, parts); !sib.IsNull() && !t.assistInsert(sib, pk, kv) {
 				// The in-flight split's sibling cannot absorb the key's
 				// copy: the split is overflowing pathologically. Undo and
 				// surface it, matching what the migrator will report.
-				if loc, found := segFindLocked(p, seg, parts, key); found {
+				if loc, found := segFindLocked(p, t.vlog, seg, pk); found {
 					segDeleteAt(p, seg, parts, loc, true, true)
 				}
 				unlockPair(p, seg, b, b2)
@@ -342,24 +448,56 @@ func (t *Table) Insert(key, value uint64) error {
 // valid (segments are never reclaimed, and a key's record is physically
 // present only in segments that route to it — see dircache.go). A miss is
 // trusted only after the route revalidates against the PM directory; a
-// stale route instead repairs the cache and retries.
+// stale route instead repairs the cache and retries. For a record stored
+// through the log the result is the little-endian uint64 of the value's
+// first 8 bytes (zero-padded when shorter) — the fixed-width view of a
+// variable value.
 func (t *Table) Get(key uint64) (uint64, bool) {
 	g := t.em.Enter()
 	defer g.Exit()
+	pk := t.probeU64(key)
+	kv, found := t.searchOpt(&pk)
+	if !found {
+		return 0, false
+	}
+	return recValueU64(t.vlog, kv), true
+}
+
+// GetB returns a copy of the value stored under a variable-length key (an
+// 8-byte value in little-endian order when the record is stored inline).
+func (t *Table) GetB(key []byte) ([]byte, bool) {
+	return t.GetBAppend(nil, key)
+}
+
+// GetBAppend is GetB appending the value to dst, for callers reusing
+// buffers on hot paths.
+func (t *Table) GetBAppend(dst, key []byte) ([]byte, bool) {
+	g := t.em.Enter()
+	defer g.Exit()
+	pk := t.probeBytes(key)
+	kv, found := t.searchOpt(&pk)
+	if !found {
+		return dst, false
+	}
+	return recAppendValue(t.vlog, dst, kv), true
+}
+
+// searchOpt is the shared lock-free read protocol; the returned record
+// words stay interpretable under the caller's epoch guard.
+func (t *Table) searchOpt(pk *probeKey) (pmem.KV, bool) {
 	p := t.pool
-	parts := t.parts(key)
 	for {
-		seg, _ := t.cache.route(parts)
-		if val, found := segSearchOpt(p, seg, parts, key); found {
-			t.cache.hits.Add(1)
-			return val, true
+		seg, _ := t.cache.route(pk.parts)
+		if kv, found := segSearchOpt(p, t.vlog, seg, pk); found {
+			t.cache.hits.add()
+			return kv, true
 		}
-		if t.validateRoute(parts, seg) {
-			t.cache.hits.Add(1)
-			return 0, false
+		if t.validateRoute(pk.parts, seg) {
+			t.cache.hits.add()
+			return pmem.KV{}, false
 		}
-		t.cache.misses.Add(1)
-		t.cacheRepair(parts)
+		t.cache.misses.add()
+		t.cacheRepair(pk.parts)
 	}
 }
 
@@ -367,8 +505,21 @@ func (t *Table) Get(key uint64) (uint64, bool) {
 func (t *Table) Delete(key uint64) bool {
 	g := t.em.Enter()
 	defer g.Exit()
+	pk := t.probeU64(key)
+	return t.deleteByProbe(&pk)
+}
+
+// DeleteB removes a variable-length key, reporting whether it was present.
+func (t *Table) DeleteB(key []byte) bool {
+	g := t.em.Enter()
+	defer g.Exit()
+	pk := t.probeBytes(key)
+	return t.deleteByProbe(&pk)
+}
+
+func (t *Table) deleteByProbe(pk *probeKey) bool {
 	p := t.pool
-	parts := t.parts(key)
+	parts := pk.parts
 	b := int(parts.BucketIndex(bucketBits))
 	b2 := (b + 1) % normalBuckets
 	for {
@@ -376,16 +527,20 @@ func (t *Table) Delete(key uint64) bool {
 		lockPair(p, seg, b, b2)
 		if !t.validateRoute(parts, seg) {
 			unlockPair(p, seg, b, b2)
-			t.cache.misses.Add(1)
+			t.cache.misses.add()
 			t.cacheRepair(parts)
 			continue
 		}
-		t.cache.hits.Add(1)
-		loc, found := segFindLocked(p, seg, parts, key)
+		t.cache.hits.add()
+		loc, found := segFindLocked(p, t.vlog, seg, pk)
 		if found {
+			w0 := p.QuietLoadU64(recordAddr(segBucket(seg, loc.bucket), loc.slot))
 			segDeleteAt(p, seg, parts, loc, true, true)
 			if sib := t.splitSibling(seg, parts); !sib.IsNull() {
-				t.assistDelete(sib, parts, key)
+				t.assistDelete(sib, pk)
+			}
+			if recIsIndirect(w0) {
+				t.retireBlob(recBlobAddr(w0))
 			}
 			t.count.Add(-1)
 		}
@@ -394,36 +549,179 @@ func (t *Table) Delete(key uint64) bool {
 	}
 }
 
-// Update overwrites the value of an existing key in place, reporting whether
-// the key was present. The value word is a single atomic persisted store.
-func (t *Table) Update(key, value uint64) bool {
+// retireBlob frees a blob once no in-flight reader can still dereference
+// it, the same epoch deferral retired directory blocks use. The slot that
+// referenced the blob is already unpublished and persisted, so at crash
+// granularity the blob is dead either way.
+func (t *Table) retireBlob(blob pmem.Addr) {
+	t.em.Retire(func() { t.vlog.Free(blob) })
+}
+
+// Update overwrites the value of an existing key. The bool reports whether
+// the key was present; a non-nil error means the key exists but the update
+// did not happen (value unchanged): records stored through the log update
+// copy-on-write, which can fail with ErrPoolFull, ErrRecordTooLarge is
+// impossible here, and a pathological sibling overflow during an in-flight
+// split surfaces as ErrSegmentOverflow. Inline records update in place
+// (one atomic persisted store, no error path). Lock-free readers always
+// observe either the whole old or the whole new value.
+func (t *Table) Update(key, value uint64) (bool, error) {
 	g := t.em.Enter()
 	defer g.Exit()
+	pk := t.probeU64(key)
+	return t.updateByProbe(&pk, nil, value)
+}
+
+// UpdateB overwrites the value of an existing variable-length key. The
+// returned bool reports presence; the error reports ErrRecordTooLarge,
+// ErrPoolFull or ErrSegmentOverflow (the update did not happen). A value
+// whose length differs from the stored one is handled by the copy-on-write
+// path, including conversions between the inline and log representations.
+func (t *Table) UpdateB(key, value []byte) (bool, error) {
+	g := t.em.Enter()
+	defer g.Exit()
+	if len(key) == 0 || len(key) > pmem.MaxVarKeyLen || len(value) > pmem.MaxVarValueLen {
+		return false, ErrRecordTooLarge
+	}
+	pk := t.probeBytes(key)
+	return t.updateByProbe(&pk, value, 0)
+}
+
+// updateByProbe implements both update flavors: vb == nil is the uint64
+// path (value = vu). The write strategy is chosen per record:
+//
+//   - inline record, 8-byte new value → in-place WriteValue (the original
+//     fast path; crash-atomic by word atomicity).
+//   - indirect record → copy-on-write: append+commit a new blob, flip the
+//     slot's word 0 with one atomic persisted store, epoch-retire the old
+//     blob. Word 1 (the key's hash) is unchanged, so the flip is a single
+//     word whatever the value length.
+//   - inline record, non-8-byte value → representation conversion: the new
+//     indirect record is inserted alongside the old inline one and the old
+//     slot is deleted after the sibling assist succeeds. A crash in
+//     between leaves both — recovery's canonical-key dedupe keeps exactly
+//     one, which is correct for an unacknowledged update.
+//
+// The new blob is allocated lazily on first need and reused across split
+// retries; it is freed on any outcome that does not publish it.
+func (t *Table) updateByProbe(pk *probeKey, vb []byte, vu uint64) (bool, error) {
 	p := t.pool
-	parts := t.parts(key)
+	parts := pk.parts
 	b := int(parts.BucketIndex(bucketBits))
 	b2 := (b + 1) % normalBuckets
+	blob := pmem.Null
+	// freeBlob is only for outcomes where the blob was never published (no
+	// slot ever referenced it), so no reader can hold it and immediate
+	// reuse is safe; the conversion rollback below, whose record WAS
+	// transiently readable, epoch-retires instead.
+	freeBlob := func() {
+		if !blob.IsNull() {
+			t.vlog.Free(blob)
+		}
+	}
+	inline8 := vb == nil || len(vb) == 8
 	for {
 		seg, _ := t.cache.route(parts)
 		lockPair(p, seg, b, b2)
 		if !t.validateRoute(parts, seg) {
 			unlockPair(p, seg, b, b2)
-			t.cache.misses.Add(1)
+			t.cache.misses.add()
 			t.cacheRepair(parts)
 			continue
 		}
-		t.cache.hits.Add(1)
-		loc, found := segFindLocked(p, seg, parts, key)
-		if found {
-			ra := recordAddr(segBucket(seg, loc.bucket), loc.slot)
-			p.WriteValue(ra, value)
+		t.cache.hits.add()
+		loc, found := segFindLocked(p, t.vlog, seg, pk)
+		if !found {
+			unlockPair(p, seg, b, b2)
+			freeBlob()
+			return false, nil
+		}
+		ra := recordAddr(segBucket(seg, loc.bucket), loc.slot)
+		w0 := p.QuietLoadU64(ra)
+
+		if !recIsIndirect(w0) && inline8 {
+			v := vu
+			if vb != nil {
+				v = binary.LittleEndian.Uint64(vb)
+			}
+			p.WriteValue(ra, v)
 			p.Persist(ra.Add(8), 8)
 			if sib := t.splitSibling(seg, parts); !sib.IsNull() {
-				t.assistUpdate(sib, parts, key, value)
+				t.assistUpdate(sib, pk, pmem.KV{Key: w0, Value: v})
 			}
+			unlockPair(p, seg, b, b2)
+			freeBlob()
+			return true, nil
 		}
+
+		// Log-backed value needed: build the blob once (under the locks —
+		// acceptable: this path is the variable-length/cross-format case).
+		if blob.IsNull() {
+			var kbuf [8]byte
+			value := vb
+			if value == nil {
+				var vbuf [8]byte
+				binary.LittleEndian.PutUint64(vbuf[:], vu)
+				value = vbuf[:]
+			}
+			var err error
+			blob, err = t.vlog.Append(pk.keyBytes(&kbuf), value)
+			if err != nil {
+				unlockPair(p, seg, b, b2)
+				return true, t.mapLogErr(err)
+			}
+			t.vlog.Commit(blob)
+		}
+		if t.hookVarMidUpdate != nil {
+			t.hookVarMidUpdate()
+		}
+		kv := pmem.KV{Key: recPack(blob, pk.keyLen()), Value: parts.Hash}
+
+		if recIsIndirect(w0) {
+			// Copy-on-write flip: word 1 already holds the key's hash.
+			p.StoreU64(ra, kv.Key)
+			p.Persist(ra, 8)
+			if sib := t.splitSibling(seg, parts); !sib.IsNull() {
+				t.assistUpdate(sib, pk, kv)
+			}
+			t.retireBlob(recBlobAddr(w0))
+			unlockPair(p, seg, b, b2)
+			return true, nil
+		}
+
+		// Representation conversion (inline → indirect): insert the new
+		// record first, mirror it into any in-flight split's sibling, and
+		// only then delete the old inline slot — at every crash point the
+		// key exists at least once and at most twice (deduped by recovery).
+		if !segInsertLocked(p, seg, parts, kv, true, true, t.seed) {
+			unlockPair(p, seg, b, b2)
+			if err := t.split(parts, seg); err != nil {
+				freeBlob()
+				return true, err
+			}
+			continue
+		}
+		if sib := t.splitSibling(seg, parts); !sib.IsNull() && !t.assistConvert(sib, pk, kv) {
+			// Sibling cannot absorb the converted record: roll the
+			// conversion back (delete the new record, old value intact).
+			// The deleted record was transiently published — a stash
+			// placement is readable the moment segInsertLocked drops the
+			// stash lock — so the blob is epoch-retired, not freed for
+			// immediate reuse.
+			if nloc, ok := segFindW0Locked(p, seg, parts, kv.Key); ok {
+				segDeleteAt(p, seg, parts, nloc, true, true)
+			}
+			unlockPair(p, seg, b, b2)
+			t.retireBlob(blob)
+			return true, ErrSegmentOverflow
+		}
+		// loc still names the old inline slot: the new record's insert may
+		// have displaced records, but never this one (displacement only
+		// moves records homed in the probing neighbor b2; this key's home
+		// is b).
+		segDeleteAt(p, seg, parts, loc, true, true)
 		unlockPair(p, seg, b, b2)
-		return found
+		return true, nil
 	}
 }
 
@@ -539,14 +837,18 @@ type splitScan struct {
 	grouped []splitCand
 	known   [totalBuckets]uint64
 	kvalid  [totalBuckets]bool
+	keyBuf  []byte // scratch for duplicate probes on indirect records
 }
 
 var splitScanPool = sync.Pool{New: func() any { return new(splitScan) }}
 
 // splitCand is one sibling-claimed record the scan found: where it lives in
-// the old segment (for the locked re-verify) and its precomputed hash parts.
+// the old segment (for the locked re-verify), its word 0 as scanned (the
+// record's physical identity — an inline key or a packed blob address) and
+// its hash parts (read from the record words; the scan never dereferences
+// blobs, which is what keeps split cost independent of record size).
 type splitCand struct {
-	key  uint64
+	w0   uint64
 	rec  pmem.Addr // record address in the old segment
 	meta pmem.Addr // its bucket's meta word
 	slot int
@@ -583,12 +885,12 @@ func (t *Table) splitMigrate(oldSeg, newSeg pmem.Addr, l uint8, a0 uint64) (*spl
 					continue
 				}
 				ra := recordAddr(ba, slot)
-				key := p.QuietLoadU64(ra)
-				rp := hashfn.Split(hashfn.HashU64(key, t.seed))
+				w0 := p.QuietLoadU64(ra)
+				rp := hashfn.Split(recHash(pmem.KV{Key: w0, Value: p.QuietLoadU64(ra.Add(8))}, t.seed))
 				if rp.DepthBit(l) {
 					moved |= 1 << uint(slot)
 					sc.cand = append(sc.cand, splitCand{
-						key: key, rec: ra, meta: ba.Add(bkOffMeta),
+						w0: w0, rec: ra, meta: ba.Add(bkOffMeta),
 						slot: slot, home: int(rp.BucketIndex(bucketBits)), rp: rp,
 					})
 				}
@@ -631,15 +933,23 @@ func (t *Table) splitMigrate(oldSeg, newSeg pmem.Addr, l uint8, a0 uint64) (*spl
 			lockPair(p, newSeg, h, h2)
 			for _, c := range grouped[cnt[h]:cnt[h+1]] {
 				// Re-verify under the sibling lock; both loads share lines
-				// the scan already charged.
-				if !metaSlotUsed(p.QuietLoadU64(c.meta), c.slot) || p.QuietLoadU64(c.rec) != c.key {
+				// the scan already charged. Identity is the scanned word 0
+				// for inline records; for indirect records it is the stored
+				// hash — a copy-on-write update flips word 0 to a new blob
+				// but keeps the hash, and copying the *current* words below
+				// picks up exactly that freshest blob.
+				w0 := p.QuietLoadU64(c.rec)
+				w1 := p.QuietLoadU64(c.rec.Add(8))
+				if !metaSlotUsed(p.QuietLoadU64(c.meta), c.slot) || !recSameIdentity(c.w0, w0, w1, c.rp.Hash) {
 					continue // deleted or replaced; its writer's assist covered the sibling
 				}
 				// Freshest value: an update between scan and copy either
 				// already landed (read here) or will assist after we unlock.
-				kv := pmem.KV{Key: c.key, Value: p.QuietLoadU64(c.rec.Add(8))}
+				kv := pmem.KV{Key: w0, Value: w1}
 				if t.splitAssists.Load() != a0 {
-					if _, dup := segFindLocked(p, newSeg, c.rp, c.key); dup {
+					var pk probeKey
+					pk, sc.keyBuf = probeOfRecord(t.vlog, kv, c.rp, sc.keyBuf)
+					if _, dup := segFindLocked(p, t.vlog, newSeg, &pk); dup {
 						continue
 					}
 				}
@@ -685,23 +995,24 @@ func (t *Table) splitCopyStashSlot(oldSeg, newSeg, sa pmem.Addr, slot int, l uin
 		if !metaSlotUsed(m, slot) {
 			return true
 		}
-		key := p.ReadKey(recordAddr(sa, slot))
-		rp := hashfn.Split(hashfn.HashU64(key, t.seed))
+		kv0 := p.ReadKV(recordAddr(sa, slot))
+		rp := recSplitParts(kv0, t.seed)
 		hb := int(rp.BucketIndex(bucketBits))
 		hb2 := (hb + 1) % normalBuckets
 		lockPair(p, oldSeg, hb, hb2)
 		m = p.LoadU64(sa.Add(bkOffMeta))
-		if !metaSlotUsed(m, slot) || p.ReadKey(recordAddr(sa, slot)) != key {
+		kv := p.ReadKV(recordAddr(sa, slot))
+		if !metaSlotUsed(m, slot) || !recSameIdentity(kv0.Key, kv.Key, kv.Value, rp.Hash) {
 			unlockPair(p, oldSeg, hb, hb2)
 			continue
 		}
 		ok := true
 		if rp.DepthBit(l) {
-			kv := p.ReadKV(recordAddr(sa, slot))
 			lockPair(p, newSeg, hb, hb2)
 			dup := false
 			if t.splitAssists.Load() != a0 {
-				_, dup = segFindLocked(p, newSeg, rp, key)
+				pk, _ := probeOfRecord(t.vlog, kv, rp, nil)
+				_, dup = segFindLocked(p, t.vlog, newSeg, &pk)
 			}
 			if !dup {
 				ok = segInsertLocked(p, newSeg, rp, kv, true, false, t.seed)
@@ -831,12 +1142,13 @@ func (t *Table) splitSibling(seg pmem.Addr, parts hashfn.Parts) pmem.Addr {
 // Reports false when the sibling cannot absorb the copy, i.e. the split is
 // overflowing pathologically. Durability is deferred to the publish's
 // whole-segment persist, like every pre-publish sibling write.
-func (t *Table) assistInsert(sib pmem.Addr, parts hashfn.Parts, kv pmem.KV) bool {
+func (t *Table) assistInsert(sib pmem.Addr, pk *probeKey, kv pmem.KV) bool {
 	// Count before touching the sibling: the migrator reads the counter
 	// under bucket locks ordered after this store, so a nonzero delta is
 	// visible before any duplicate can be.
 	t.splitAssists.Add(1)
 	p := t.pool
+	parts := pk.parts
 	b := int(parts.BucketIndex(bucketBits))
 	b2 := (b + 1) % normalBuckets
 	lockPair(p, sib, b, b2)
@@ -848,7 +1160,7 @@ func (t *Table) assistInsert(sib pmem.Addr, parts hashfn.Parts, kv pmem.KV) bool
 	// lock's handoff: whichever of us inserts first, the other's probe sees
 	// it here — so probe before inserting.
 	ok := true
-	if _, dup := segFindLocked(p, sib, parts, kv.Key); !dup {
+	if _, dup := segFindLocked(p, t.vlog, sib, pk); !dup {
 		ok = segInsertLocked(p, sib, parts, kv, true, false, t.seed)
 	}
 	unlockPair(p, sib, b, b2)
@@ -858,30 +1170,63 @@ func (t *Table) assistInsert(sib pmem.Addr, parts hashfn.Parts, kv pmem.KV) bool
 // assistDelete mirrors a delete into the sibling of an in-flight split: if
 // the migrator already copied the record, the copy must die too or the key
 // would resurrect when the split publishes.
-func (t *Table) assistDelete(sib pmem.Addr, parts hashfn.Parts, key uint64) {
+func (t *Table) assistDelete(sib pmem.Addr, pk *probeKey) {
 	p := t.pool
+	parts := pk.parts
 	b := int(parts.BucketIndex(bucketBits))
 	b2 := (b + 1) % normalBuckets
 	lockPair(p, sib, b, b2)
-	if loc, found := segFindLocked(p, sib, parts, key); found {
+	if loc, found := segFindLocked(p, t.vlog, sib, pk); found {
 		segDeleteAt(p, sib, parts, loc, true, false)
 	}
 	unlockPair(p, sib, b, b2)
 }
 
-// assistUpdate mirrors an in-place value update into the sibling of an
-// in-flight split, so an already-migrated copy does not revive the old
-// value at publish. A copy the migrator has not made yet needs nothing: it
-// will be read, with this new value, under the home bucket's lock.
-func (t *Table) assistUpdate(sib pmem.Addr, parts hashfn.Parts, key, value uint64) {
+// assistUpdate mirrors a value update into the sibling of an in-flight
+// split, so an already-migrated copy does not revive the old value at
+// publish: the sibling copy's record words are overwritten with kv (for an
+// inline record that is just the value word; for a copy-on-write update it
+// is the new blob's word 0, word 1 — the hash — being unchanged). A copy
+// the migrator has not made yet needs nothing: the migrator copies the
+// record's *current* words under the home bucket's lock, and its sibling
+// critical section serializes with this one.
+func (t *Table) assistUpdate(sib pmem.Addr, pk *probeKey, kv pmem.KV) {
 	p := t.pool
+	parts := pk.parts
 	b := int(parts.BucketIndex(bucketBits))
 	b2 := (b + 1) % normalBuckets
 	lockPair(p, sib, b, b2)
-	if loc, found := segFindLocked(p, sib, parts, key); found {
-		p.WriteValue(recordAddr(segBucket(sib, loc.bucket), loc.slot), value)
+	if loc, found := segFindLocked(p, t.vlog, sib, pk); found {
+		ra := recordAddr(segBucket(sib, loc.bucket), loc.slot)
+		p.StoreU64(ra.Add(8), kv.Value)
+		p.StoreU64(ra, kv.Key)
 	}
 	unlockPair(p, sib, b, b2)
+}
+
+// assistConvert mirrors a representation conversion (inline → indirect
+// update) into the sibling: an upsert — overwrite the already-migrated
+// copy, or insert the converted record if the migrator has not reached it
+// yet (the migrator will then skip the old slot, whose word 0 no longer
+// matches its scan, or dedupe against this copy through the assist
+// counter's gate). Reports false when the sibling cannot absorb an insert.
+func (t *Table) assistConvert(sib pmem.Addr, pk *probeKey, kv pmem.KV) bool {
+	t.splitAssists.Add(1) // before touching the sibling, like assistInsert
+	p := t.pool
+	parts := pk.parts
+	b := int(parts.BucketIndex(bucketBits))
+	b2 := (b + 1) % normalBuckets
+	lockPair(p, sib, b, b2)
+	ok := true
+	if loc, found := segFindLocked(p, t.vlog, sib, pk); found {
+		ra := recordAddr(segBucket(sib, loc.bucket), loc.slot)
+		p.StoreU64(ra.Add(8), kv.Value)
+		p.StoreU64(ra, kv.Key)
+	} else {
+		ok = segInsertLocked(p, sib, parts, kv, true, false, t.seed)
+	}
+	unlockPair(p, sib, b, b2)
+	return ok
 }
 
 // recover reconciles the table image after a crash. The directory is the
@@ -1015,23 +1360,66 @@ func (t *Table) recover() error {
 		total += int64(segCount(p, seg))
 	}
 	t.count.Store(total)
+
+	// Record-log sweep, after every slot-level sweep has settled: collect
+	// the blob addresses the surviving records reference, then let the log
+	// walk itself and reclaim every other blob — ones whose commit never
+	// landed (crash between blob write and commit) and committed ones no
+	// slot points at (crash between commit and slot publish, or between a
+	// copy-on-write's commit and its slot flip). Either way the reclaim is
+	// deterministic and no ghost record results: visibility is gated on
+	// bucket slots, which the sweeps above already reconciled.
+	refs := make(map[pmem.Addr]struct{})
+	for _, s := range segs {
+		for bi := 0; bi < totalBuckets; bi++ {
+			ba := segBucket(s.addr, bi)
+			m := p.LoadU64(ba.Add(bkOffMeta))
+			for slot := 0; slot < slotsPerBucket; slot++ {
+				if !metaSlotUsed(m, slot) {
+					continue
+				}
+				if w0 := p.QuietLoadU64(recordAddr(ba, slot)); recIsIndirect(w0) {
+					refs[recBlobAddr(w0)] = struct{}{}
+				}
+			}
+		}
+	}
+	if err := t.vlog.Recover(func(a pmem.Addr) bool {
+		_, ok := refs[a]
+		return ok
+	}); err != nil {
+		return err
+	}
 	// The PM image is reconciled; mirror it into the DRAM directory cache
 	// with one O(directory) pass.
 	t.cacheRebuild()
 	return nil
 }
 
-// dedupeSegment removes all but the first copy of any key appearing twice in
-// the segment. segSweep's scan order matches lookup order (normal buckets
-// ascending, then stash), so the surviving copy is the one lookups would
-// return.
+// dedupeSegment removes all but the first copy of any key appearing twice
+// in the segment, comparing *canonical* keys (an inline record's 8-byte
+// little-endian key, an indirect record's blob key bytes): an interrupted
+// displacement duplicates a record verbatim, but an interrupted
+// representation-converting update leaves the same user key once inline
+// and once as a blob pointer. segSweep's scan order matches lookup order
+// (normal buckets ascending, then stash), so the surviving copy is the one
+// lookups would return. This is the one recovery pass that dereferences
+// blobs — recovery is already O(data).
 func (t *Table) dedupeSegment(seg pmem.Addr) {
-	seenKeys := make(map[uint64]bool)
+	seenKeys := make(map[string]bool)
+	var buf [8]byte
 	segSweep(t.pool, seg, t.seed, func(_ hashfn.Parts, kv pmem.KV) bool {
-		if seenKeys[kv.Key] {
+		var k string
+		if recIsIndirect(kv.Key) {
+			k = string(t.vlog.KeyBytes(recBlobAddr(kv.Key)))
+		} else {
+			binary.LittleEndian.PutUint64(buf[:], kv.Key)
+			k = string(buf[:])
+		}
+		if seenKeys[k] {
 			return true
 		}
-		seenKeys[kv.Key] = true
+		seenKeys[k] = true
 		return false
 	})
 }
@@ -1048,8 +1436,7 @@ func (t *Table) sweepStashGhosts(seg pmem.Addr) {
 			if !metaSlotUsed(m, slot) {
 				continue
 			}
-			key := p.ReadKey(recordAddr(sa, slot))
-			parts := t.parts(key)
+			parts := recSplitParts(p.ReadKV(recordAddr(sa, slot)), t.seed)
 			home := segBucket(seg, int(parts.BucketIndex(bucketBits)))
 			if findTrackedSlot(p, home, parts.FP, j) >= 0 {
 				continue

@@ -33,13 +33,13 @@ func TestBasicOps(t *testing.T) {
 	if _, ok := tbl.Get(3); ok {
 		t.Fatal("Get(3) found a missing key")
 	}
-	if !tbl.Update(1, 101) {
+	if ok, err := tbl.Update(1, 101); !ok || err != nil {
 		t.Fatal("Update(1) reported missing")
 	}
 	if v, _ := tbl.Get(1); v != 101 {
 		t.Fatalf("after update Get(1) = %d", v)
 	}
-	if tbl.Update(3, 1) {
+	if ok, _ := tbl.Update(3, 1); ok {
 		t.Fatal("Update(3) updated a missing key")
 	}
 	if !tbl.Delete(2) {

@@ -97,6 +97,10 @@ func Hash64(data []byte, seed uint64) uint64 {
 }
 
 // HashU64 is the fixed-length fast path: MurmurHash64A of the 8 bytes of x.
+// HashU64(x, s) == Hash64(le(x), s) exactly — a uint64 key and its 8-byte
+// little-endian encoding are the same key to every layer above, which is
+// what lets the engine's uint64 and []byte APIs share one keyspace
+// (asserted by TestHashU64MatchesHash64).
 func HashU64(x, seed uint64) uint64 {
 	// 8*murmurM truncated to 64 bits; as an untyped constant expression it
 	// would overflow uint64 and fail to compile.

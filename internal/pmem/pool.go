@@ -15,6 +15,10 @@
 // cachelines. An optional CostModel charges Optane-shaped latencies and a
 // bandwidth penalty so that excessive PM traffic destroys multicore
 // scalability the way it does on the real DIMMs.
+//
+// On top of the raw arena, VarLog (varlog.go) provides a crash-consistent
+// bump-allocated log of variable-length key/value blobs — the record store
+// data structures point fixed-size slots into.
 package pmem
 
 import (

@@ -1,0 +1,393 @@
+package pmem
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// VarLog is a crash-consistent, bump-allocated log of variable-length
+// key/value blobs — the out-of-bucket record store behind the engine's
+// fixed bucket layout (§4.1 of the paper notes longer keys are handled by
+// storing pointers to records kept outside the bucket; the one-byte
+// fingerprint still filters almost every misprobe before the pointer is
+// dereferenced).
+//
+// # Layout
+//
+// The log is a chain of fixed-size chunks carved from the pool by the
+// caller-supplied allocator, newest chunk first, rooted at a single
+// caller-owned pointer word (headAddr). Each chunk is one header cacheline
+// followed by blob storage:
+//
+//	word 0: next chunk address (0 terminates the chain)
+//	word 1: chunk size in bytes (header included)
+//	word 2: bump frontier — absolute address of the first free byte,
+//	        persisted right after every allocation CAS like the pool's
+//	        main frontier, so a crash can at worst leak a blob that was
+//	        never published, never hand the same bytes out twice
+//
+// A blob is 16-aligned and self-describing:
+//
+//	word 0: key length (bits 0..15) | value length (bits 16..31)
+//	        | capacity/16 (bits 32..47) — capacity is the blob's full
+//	        footprint including this header, which is what lets a log walk
+//	        stride over blobs whose content lengths shrank on reuse
+//	word 1: commit word — blobCommitMagic once the blob's bytes are
+//	        durable, anything else means the blob never finished
+//	then:   key bytes, value bytes, padding to 16
+//
+// # Crash protocol
+//
+// Append writes header (commit word cleared) and bytes, then flushes and
+// fences them; Commit sets the commit word with its own persist. The caller
+// publishes the blob by pointing a table slot at it only after Commit, so
+// at any crash a blob is in exactly one of three states: unwritten or
+// uncommitted (reclaimed by Recover), committed but unreferenced (the crash
+// fell between commit and slot publish, or between a copy-on-write slot
+// flip and nothing — Recover reclaims it once the caller reports which
+// blobs its slots still reference), or committed and referenced (kept).
+//
+// # Reuse
+//
+// Free pushes a blob onto a DRAM free list keyed by capacity; nothing is
+// written to PM — an unreferenced blob is already dead at crash
+// granularity, whatever its commit word says. The caller is responsible for
+// epoch-deferring Free of a blob that lock-free readers may still be
+// dereferencing (the same discipline the engine applies to retired
+// directory blocks). Reusing a span whose media image still says
+// "committed" is safe because Append clears the commit word before the
+// payload persist: the new content can only ever surface as uncommitted.
+type VarLog struct {
+	pool     *Pool
+	headAddr Addr // pool address of the head-chunk pointer word
+	chunkSz  uint64
+	alloc    func(size uint64) (Addr, error)
+
+	// cur is the chunk currently bump-allocated from (0 until the first
+	// Append); rollover and the free list serialize on mu.
+	cur atomic.Uint64
+	mu  sync.Mutex
+	// free maps blob capacity → reusable blob addresses. Exact-capacity
+	// reuse only: the header's capacity field must keep describing the
+	// span so a post-crash log walk can stride over it.
+	free map[uint64][]Addr
+
+	// DRAM stats; rebuilt by Recover.
+	chunkBytes atomic.Uint64 // pool bytes held by chunks
+	liveBytes  atomic.Uint64 // capacity of committed, not-freed blobs
+	liveBlobs  atomic.Int64
+	freeBytes  atomic.Uint64 // capacity sitting in the free list
+}
+
+const (
+	// VarChunkSize is the default chunk size new logs allocate in.
+	VarChunkSize = 256 << 10
+
+	// BlobHeaderSize is the fixed per-blob header footprint.
+	BlobHeaderSize = 16
+
+	// MaxVarKeyLen and MaxVarValueLen bound one blob's content. The bound
+	// keeps every blob far below one chunk (an Append never cascades into
+	// multiple chunk allocations mid-operation) and bounds the worst-case
+	// PM read a single fingerprint-matched dereference can charge — split
+	// migration and sweeps never touch blob bytes, so resize cost stays
+	// independent of record size.
+	MaxVarKeyLen   = 1 << 10
+	MaxVarValueLen = 4 << 10
+
+	blobAlign       = 16
+	chunkHeaderSize = CachelineSize
+	chunkOffNext    = 0
+	chunkOffSize    = 8
+	chunkOffBump    = 16
+
+	blobCommitMagic = 0xB10BC0117EDBEEF1
+)
+
+// ErrBlobTooLarge is returned by Append when a record exceeds the log's
+// per-blob bounds.
+var ErrBlobTooLarge = errors.New("pmem: blob exceeds varlog size bounds")
+
+// NewVarLog attaches a log to the pointer word at headAddr (zero for an
+// empty log; Create-time callers persist that zero themselves). alloc hands
+// out chunk-sized pool blocks; chunkSize 0 selects VarChunkSize. Call
+// Recover before use when headAddr may name existing chunks.
+func NewVarLog(pool *Pool, headAddr Addr, chunkSize uint64, alloc func(size uint64) (Addr, error)) *VarLog {
+	if chunkSize == 0 {
+		chunkSize = VarChunkSize
+	}
+	return &VarLog{
+		pool:     pool,
+		headAddr: headAddr,
+		chunkSz:  chunkSize,
+		alloc:    alloc,
+		free:     make(map[uint64][]Addr),
+	}
+}
+
+func packBlobHeader(klen, vlen int, capBytes uint64) uint64 {
+	return uint64(klen) | uint64(vlen)<<16 | (capBytes/blobAlign)<<32
+}
+
+func blobHeaderLens(h uint64) (klen, vlen int) {
+	return int(h & 0xFFFF), int(h >> 16 & 0xFFFF)
+}
+
+func blobHeaderCap(h uint64) uint64 { return ((h >> 32) & 0xFFFF) * blobAlign }
+
+// blobCap returns the 16-aligned footprint of a blob with the given content.
+func blobCap(klen, vlen int) uint64 {
+	return (BlobHeaderSize + uint64(klen) + uint64(vlen) + blobAlign - 1) &^ (blobAlign - 1)
+}
+
+// Append allocates a blob, writes header and content and persists them with
+// the commit word cleared. The blob is not live until Commit; a crash
+// before Commit leaves it reclaimable. Concurrent Appends are safe.
+func (l *VarLog) Append(key, value []byte) (Addr, error) {
+	klen, vlen := len(key), len(value)
+	if klen == 0 || klen > MaxVarKeyLen || vlen > MaxVarValueLen {
+		return Null, ErrBlobTooLarge
+	}
+	capBytes := blobCap(klen, vlen)
+	a, err := l.allocBlob(capBytes)
+	if err != nil {
+		return Null, err
+	}
+	p := l.pool
+	// Clear the commit word before anything else lands: if this span is a
+	// reused blob whose media image says "committed", the clear must be in
+	// the same flush set as the new content, so the torn states a crash can
+	// expose are all uncommitted.
+	p.QuietStoreU64(a.Add(8), 0)
+	p.QuietStoreU64(a, packBlobHeader(klen, vlen, capBytes))
+	copy(p.QuietBytes(a.Add(BlobHeaderSize), uint64(klen)), key)
+	copy(p.QuietBytes(a.Add(BlobHeaderSize+uint64(klen)), uint64(vlen)), value)
+	// One charge for the whole blob (and the crash-tracking dirty marks for
+	// the byte copies above); then make it durable.
+	p.TouchWrite(a, BlobHeaderSize+uint64(klen)+uint64(vlen))
+	p.Persist(a, BlobHeaderSize+uint64(klen)+uint64(vlen))
+	return a, nil
+}
+
+// Commit marks the blob durable-and-complete. After Commit the caller may
+// publish the blob's address; the content must never change again.
+func (l *VarLog) Commit(a Addr) {
+	p := l.pool
+	p.StoreU64(a.Add(8), blobCommitMagic)
+	p.Persist(a.Add(8), 8)
+	capBytes := blobHeaderCap(p.QuietReadU64(a))
+	l.liveBytes.Add(capBytes)
+	l.liveBlobs.Add(1)
+}
+
+// Free returns a blob's span to the DRAM free list. No PM is written: an
+// unreferenced blob is already reclaimable at crash granularity. The caller
+// must guarantee no reader can still dereference the blob (epoch-defer the
+// call when lock-free readers are in play).
+func (l *VarLog) Free(a Addr) {
+	capBytes := blobHeaderCap(l.pool.QuietReadU64(a))
+	l.mu.Lock()
+	l.free[capBytes] = append(l.free[capBytes], a)
+	l.mu.Unlock()
+	l.liveBytes.Add(^(capBytes - 1))
+	l.liveBlobs.Add(-1)
+	l.freeBytes.Add(capBytes)
+}
+
+// allocBlob hands out a 16-aligned span: free list first (exact capacity
+// class), then the current chunk's bump frontier, growing the chain when
+// the chunk is full.
+func (l *VarLog) allocBlob(capBytes uint64) (Addr, error) {
+	l.mu.Lock()
+	if spans := l.free[capBytes]; len(spans) > 0 {
+		a := spans[len(spans)-1]
+		l.free[capBytes] = spans[:len(spans)-1]
+		l.mu.Unlock()
+		l.freeBytes.Add(^(capBytes - 1))
+		return a, nil
+	}
+	l.mu.Unlock()
+	p := l.pool
+	for {
+		chunk := Addr(l.cur.Load())
+		if !chunk.IsNull() {
+			ba := chunk.Add(chunkOffBump)
+			for {
+				bump := p.LoadU64(ba)
+				end := uint64(chunk) + p.QuietReadU64(chunk.Add(chunkOffSize))
+				if bump+capBytes > end {
+					break // chunk full; roll over
+				}
+				if p.CompareAndSwapU64(ba, bump, bump+capBytes) {
+					p.Persist(ba, 8)
+					return Addr(bump), nil
+				}
+			}
+		}
+		if err := l.growLocked(chunk); err != nil {
+			return Null, err
+		}
+	}
+}
+
+// growLocked links a fresh chunk at the head of the chain if no one else
+// did since the caller observed prev as the current chunk.
+func (l *VarLog) growLocked(prev Addr) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if Addr(l.cur.Load()) != prev {
+		return nil // another Append already grew the chain
+	}
+	chunk, err := l.alloc(l.chunkSz)
+	if err != nil {
+		return err
+	}
+	p := l.pool
+	head := Addr(p.LoadU64(l.headAddr))
+	p.StoreU64(chunk.Add(chunkOffNext), uint64(head))
+	p.StoreU64(chunk.Add(chunkOffSize), l.chunkSz)
+	p.StoreU64(chunk.Add(chunkOffBump), uint64(chunk)+chunkHeaderSize)
+	p.Persist(chunk, chunkHeaderSize)
+	// Publishing the chunk is the head-pointer flip; a crash before it
+	// leaks the block, exactly like every other unpublished allocation.
+	p.StoreU64(l.headAddr, uint64(chunk))
+	p.Persist(l.headAddr, 8)
+	l.cur.Store(uint64(chunk))
+	l.chunkBytes.Add(l.chunkSz)
+	return nil
+}
+
+// Lens returns the blob's key and value lengths (quiet: the header shares
+// the line the caller's dereference already charged).
+func (l *VarLog) Lens(a Addr) (klen, vlen int) {
+	return blobHeaderLens(l.pool.QuietReadU64(a))
+}
+
+// KeyEquals reports whether the blob's key bytes equal key, charging one
+// read of header+key (the dereference a matching fingerprint+hash bought).
+func (l *VarLog) KeyEquals(a Addr, key []byte) bool {
+	p := l.pool
+	klen, _ := blobHeaderLens(p.QuietReadU64(a))
+	if klen != len(key) {
+		return false
+	}
+	p.TouchRead(a, BlobHeaderSize+uint64(klen))
+	return string(p.QuietBytes(a.Add(BlobHeaderSize), uint64(klen))) == string(key)
+}
+
+// KeyEqualsU64 is KeyEquals for the canonical 8-byte little-endian encoding
+// of a uint64 key, without materializing the bytes.
+func (l *VarLog) KeyEqualsU64(a Addr, key uint64) bool {
+	p := l.pool
+	klen, _ := blobHeaderLens(p.QuietReadU64(a))
+	if klen != 8 {
+		return false
+	}
+	p.TouchRead(a, BlobHeaderSize+8)
+	return binary.LittleEndian.Uint64(p.QuietBytes(a.Add(BlobHeaderSize), 8)) == key
+}
+
+// KeyBytes returns a copy of the blob's key (charged).
+func (l *VarLog) KeyBytes(a Addr) []byte {
+	p := l.pool
+	klen, _ := blobHeaderLens(p.QuietReadU64(a))
+	return p.ReadBytes(a.Add(BlobHeaderSize), uint64(klen))
+}
+
+// AppendValue appends the blob's value bytes to dst (charged).
+func (l *VarLog) AppendValue(dst []byte, a Addr) []byte {
+	p := l.pool
+	klen, vlen := blobHeaderLens(p.QuietReadU64(a))
+	p.TouchRead(a.Add(BlobHeaderSize+uint64(klen)), uint64(vlen))
+	return append(dst, p.QuietBytes(a.Add(BlobHeaderSize+uint64(klen)), uint64(vlen))...)
+}
+
+// ValueU64 is the fixed-width view of a blob's value: the little-endian
+// uint64 of its first 8 bytes, zero-padded when the value is shorter.
+func (l *VarLog) ValueU64(a Addr) uint64 {
+	p := l.pool
+	klen, vlen := blobHeaderLens(p.QuietReadU64(a))
+	n := uint64(vlen)
+	if n > 8 {
+		n = 8
+	}
+	p.TouchRead(a.Add(BlobHeaderSize+uint64(klen)), n)
+	var buf [8]byte
+	copy(buf[:], p.QuietBytes(a.Add(BlobHeaderSize+uint64(klen)), n))
+	return binary.LittleEndian.Uint64(buf[:])
+}
+
+// Recover rebuilds the log's DRAM state from the chunk chain after Open,
+// walking every blob up to each chunk's persisted bump frontier and
+// classifying it: committed and referenced (the caller's slots point at it)
+// blobs stay live; everything else — blobs whose commit never landed, and
+// committed blobs no slot references (a crash between commit and slot
+// publish, or a copy-on-write update that never flipped its slot) — is
+// reclaimed onto the free list. A blob whose header never reached media
+// (capacity 0, or striding past the frontier) ends its chunk's walk; the
+// bytes behind it are leaked, never handed out twice.
+func (l *VarLog) Recover(referenced func(Addr) bool) error {
+	p := l.pool
+	l.mu.Lock()
+	l.free = make(map[uint64][]Addr)
+	l.mu.Unlock()
+	l.chunkBytes.Store(0)
+	l.liveBytes.Store(0)
+	l.liveBlobs.Store(0)
+	l.freeBytes.Store(0)
+
+	head := Addr(p.ReadU64(l.headAddr))
+	l.cur.Store(uint64(head))
+	for chunk := head; !chunk.IsNull(); {
+		size := p.ReadU64(chunk.Add(chunkOffSize))
+		bump := p.ReadU64(chunk.Add(chunkOffBump))
+		if size < chunkHeaderSize || bump < uint64(chunk)+chunkHeaderSize || bump > uint64(chunk)+size {
+			return fmt.Errorf("pmem: varlog chunk %#x corrupt (size %d bump %#x)", chunk, size, bump)
+		}
+		l.chunkBytes.Add(size)
+		for a := chunk.Add(chunkHeaderSize); uint64(a) < bump; {
+			h := p.ReadU64(a)
+			capBytes := blobHeaderCap(h)
+			if capBytes == 0 || uint64(a)+capBytes > bump {
+				break // header never persisted: leak the rest of this chunk
+			}
+			if p.ReadU64(a.Add(8)) == blobCommitMagic && referenced(a) {
+				l.liveBytes.Add(capBytes)
+				l.liveBlobs.Add(1)
+			} else {
+				l.mu.Lock()
+				l.free[capBytes] = append(l.free[capBytes], a)
+				l.mu.Unlock()
+				l.freeBytes.Add(capBytes)
+			}
+			a = a.Add(capBytes)
+		}
+		chunk = Addr(p.ReadU64(chunk.Add(chunkOffNext)))
+	}
+	return nil
+}
+
+// VarLogStats is a point-in-time view of the log's space accounting.
+type VarLogStats struct {
+	// ChunkBytes is the pool space held by the chunk chain.
+	ChunkBytes uint64
+	// LiveBytes is the capacity of committed, unfreed blobs; LiveBlobs
+	// counts them.
+	LiveBytes uint64
+	LiveBlobs int64
+	// FreeBytes is the capacity parked on the DRAM free list.
+	FreeBytes uint64
+}
+
+// Stats snapshots the log's space accounting (per-counter consistent).
+func (l *VarLog) Stats() VarLogStats {
+	return VarLogStats{
+		ChunkBytes: l.chunkBytes.Load(),
+		LiveBytes:  l.liveBytes.Load(),
+		LiveBlobs:  l.liveBlobs.Load(),
+		FreeBytes:  l.freeBytes.Load(),
+	}
+}

@@ -1,0 +1,95 @@
+package workload
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// VarSpec describes a deterministic variable-length encoding of the
+// generator's uint64 key universe: every abstract key expands to one fixed
+// byte string (length and content both pure functions of the key), so the
+// preload pass, positive reads, updates and deletes of one run — and of
+// every rerun with the same seed — agree on the bytes without any shared
+// state. The first 8 bytes of every encoded key are the key itself in
+// little-endian order, making the encoding injective whatever the filler
+// does; the remainder is SplitMix64 filler. Values are derived the same
+// way from (key, salt): mutating mixes pass a different salt per update so
+// updates really change the value, including its length — exercising the
+// engine's copy-on-write path with length changes.
+type VarSpec struct {
+	// MinKeyLen..MaxKeyLen bound encoded key lengths; MinKeyLen must be at
+	// least 8 (the embedded key). MinValLen..MaxValLen bound value lengths.
+	MinKeyLen, MaxKeyLen int
+	MinValLen, MaxValLen int
+}
+
+// DefaultVarSpec is the registry's variable-length shape: 16–128-byte keys
+// and values, the small-record regime the paper's long-key discussion
+// targets.
+var DefaultVarSpec = VarSpec{MinKeyLen: 16, MaxKeyLen: 128, MinValLen: 16, MaxValLen: 128}
+
+const (
+	keyLenSalt  = 0x6b65796c656e5f73 // decorrelates length draws from filler
+	valLenSalt  = 0x76616c6c656e5f73
+	keyFillSalt = 0x6b657966696c6c73
+	valFillSalt = 0x76616c66696c6c73
+)
+
+func (s VarSpec) validate() error {
+	if s.MinKeyLen < 8 {
+		return fmt.Errorf("workload: var spec min key length %d < 8 (the embedded key)", s.MinKeyLen)
+	}
+	if s.MaxKeyLen < s.MinKeyLen || s.MaxValLen < s.MinValLen || s.MinValLen < 0 {
+		return fmt.Errorf("workload: var spec lengths out of order (%+v)", s)
+	}
+	return nil
+}
+
+func lenIn(min, max int, draw uint64) int {
+	if max <= min {
+		return min
+	}
+	return min + int(draw%uint64(max-min+1))
+}
+
+// KeyLen returns the encoded length of key.
+func (s VarSpec) KeyLen(key uint64) int {
+	return lenIn(s.MinKeyLen, s.MaxKeyLen, mix64(key^keyLenSalt))
+}
+
+// ValLen returns the value length for (key, salt).
+func (s VarSpec) ValLen(key, salt uint64) int {
+	return lenIn(s.MinValLen, s.MaxValLen, mix64(key^mix64(salt)^valLenSalt))
+}
+
+func appendFiller(dst []byte, seed uint64, n int) []byte {
+	var word [8]byte
+	for n > 0 {
+		seed += 0x9e3779b97f4a7c15
+		binary.LittleEndian.PutUint64(word[:], mix64(seed))
+		c := n
+		if c > 8 {
+			c = 8
+		}
+		dst = append(dst, word[:c]...)
+		n -= c
+	}
+	return dst
+}
+
+// AppendKey appends key's canonical encoding to dst and returns it.
+func (s VarSpec) AppendKey(dst []byte, key uint64) []byte {
+	n := s.KeyLen(key)
+	var head [8]byte
+	binary.LittleEndian.PutUint64(head[:], key)
+	dst = append(dst, head[:]...)
+	return appendFiller(dst, key^keyFillSalt, n-8)
+}
+
+// AppendValue appends the value bytes for (key, salt) to dst and returns
+// it. Distinct salts give a value of (generally) different content and
+// length for the same key.
+func (s VarSpec) AppendValue(dst []byte, key, salt uint64) []byte {
+	n := s.ValLen(key, salt)
+	return appendFiller(dst, key^mix64(salt)^valFillSalt, n)
+}

@@ -1,0 +1,96 @@
+package workload
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+func TestVarSpecDeterministicAndBounded(t *testing.T) {
+	s := DefaultVarSpec
+	for key := uint64(0); key < 5000; key++ {
+		k1 := s.AppendKey(nil, key)
+		k2 := s.AppendKey(nil, key)
+		if !bytes.Equal(k1, k2) {
+			t.Fatalf("key %d encodes differently across calls", key)
+		}
+		if len(k1) < s.MinKeyLen || len(k1) > s.MaxKeyLen {
+			t.Fatalf("key %d length %d outside [%d,%d]", key, len(k1), s.MinKeyLen, s.MaxKeyLen)
+		}
+		if got := binary.LittleEndian.Uint64(k1); got != key {
+			t.Fatalf("key %d encodes prefix %d — encoding not injective", key, got)
+		}
+		v1 := s.AppendValue(nil, key, 0)
+		if !bytes.Equal(v1, s.AppendValue(nil, key, 0)) {
+			t.Fatalf("value (%d, 0) not deterministic", key)
+		}
+		if len(v1) < s.MinValLen || len(v1) > s.MaxValLen {
+			t.Fatalf("value %d length %d outside bounds", key, len(v1))
+		}
+	}
+}
+
+func TestVarSpecSaltChangesValues(t *testing.T) {
+	s := DefaultVarSpec
+	changed := 0
+	for key := uint64(0); key < 200; key++ {
+		if !bytes.Equal(s.AppendValue(nil, key, 0), s.AppendValue(nil, key, 1)) {
+			changed++
+		}
+	}
+	if changed < 190 {
+		t.Fatalf("only %d/200 values changed under a new salt", changed)
+	}
+}
+
+func TestVarSpecLengthSpread(t *testing.T) {
+	s := DefaultVarSpec
+	seen := map[int]bool{}
+	for key := uint64(0); key < 2000; key++ {
+		seen[s.KeyLen(key)] = true
+	}
+	if len(seen) < (s.MaxKeyLen-s.MinKeyLen)/2 {
+		t.Fatalf("key lengths cover only %d distinct values", len(seen))
+	}
+}
+
+func TestVarSpecAppendReusesBuffer(t *testing.T) {
+	s := DefaultVarSpec
+	buf := make([]byte, 0, s.MaxKeyLen)
+	p0 := &buf[:1][0]
+	for key := uint64(0); key < 100; key++ {
+		buf = s.AppendKey(buf[:0], key)
+	}
+	if &buf[:1][0] != p0 {
+		t.Fatal("AppendKey reallocated a sufficient buffer")
+	}
+}
+
+func TestVarMixesRegistered(t *testing.T) {
+	for _, name := range []string{"var-insert", "var-read", "var-ycsb-b"} {
+		m, ok := MixByName(name)
+		if !ok {
+			t.Fatalf("mix %q not registered", name)
+		}
+		if m.Var == nil {
+			t.Fatalf("mix %q has no VarSpec", name)
+		}
+		if err := m.validate(); err != nil {
+			t.Fatalf("mix %q invalid: %v", name, err)
+		}
+	}
+	if m, _ := MixByName("insert"); m.Var != nil {
+		t.Fatal("inline mix grew a VarSpec")
+	}
+}
+
+func TestVarSpecValidate(t *testing.T) {
+	bad := VarSpec{MinKeyLen: 4, MaxKeyLen: 8, MinValLen: 0, MaxValLen: 8}
+	if err := bad.validate(); err == nil {
+		t.Fatal("MinKeyLen < 8 accepted")
+	}
+	bad = VarSpec{MinKeyLen: 16, MaxKeyLen: 8, MinValLen: 0, MaxValLen: 8}
+	if err := bad.validate(); err == nil {
+		t.Fatal("MaxKeyLen < MinKeyLen accepted")
+	}
+}

@@ -71,14 +71,21 @@ type Op struct {
 }
 
 // Mix is a named operation mix; the weights are percentages summing to 100.
+// A non-nil Var makes the mix variable-length: the harness encodes every
+// key and value through the VarSpec and drives the engine's []byte API
+// instead of the inline uint64 one.
 type Mix struct {
 	Name string
 	// Percent holds the weight of each OpKind, indexed by OpKind.
 	Percent [numOpKinds]int
+	// Var, when non-nil, selects variable-length key/value encoding.
+	Var *VarSpec
 }
 
 // Mixes is the registry of named mixes, mirroring the paper's microbenchmarks
-// (§6.2) and the YCSB core workloads its mixed-load figures reference.
+// (§6.2) and the YCSB core workloads its mixed-load figures reference, plus
+// the var-* variants that drive the same shapes through the
+// variable-length record path (16–128-byte keys and values).
 var Mixes = []Mix{
 	{Name: "insert", Percent: pct(100, 0, 0, 0, 0)},
 	{Name: "read", Percent: pct(0, 100, 0, 0, 0)},
@@ -87,6 +94,9 @@ var Mixes = []Mix{
 	{Name: "ycsb-a", Percent: pct(0, 50, 0, 50, 0)},
 	{Name: "ycsb-b", Percent: pct(0, 95, 0, 5, 0)},
 	{Name: "delete-heavy", Percent: pct(25, 25, 0, 0, 50)},
+	{Name: "var-insert", Percent: pct(100, 0, 0, 0, 0), Var: &DefaultVarSpec},
+	{Name: "var-read", Percent: pct(0, 100, 0, 0, 0), Var: &DefaultVarSpec},
+	{Name: "var-ycsb-b", Percent: pct(0, 95, 0, 5, 0), Var: &DefaultVarSpec},
 }
 
 func pct(insert, read, readNeg, update, del int) [numOpKinds]int {
@@ -124,16 +134,25 @@ func (m Mix) validate() error {
 	if sum != 100 {
 		return fmt.Errorf("workload: mix %q weights sum to %d, want 100", m.Name, sum)
 	}
+	if m.Var != nil {
+		if err := m.Var.validate(); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
-// String renders the mix as "name(insert:50 read:50)".
+// String renders the mix as "name(insert:50 read:50)", variable-length
+// mixes with their key/value length ranges appended.
 func (m Mix) String() string {
 	var parts []string
 	for k, p := range m.Percent {
 		if p > 0 {
 			parts = append(parts, fmt.Sprintf("%s:%d", OpKind(k), p))
 		}
+	}
+	if v := m.Var; v != nil {
+		parts = append(parts, fmt.Sprintf("k:%d-%dB v:%d-%dB", v.MinKeyLen, v.MaxKeyLen, v.MinValLen, v.MaxValLen))
 	}
 	return m.Name + "(" + strings.Join(parts, " ") + ")"
 }
