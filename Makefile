@@ -44,7 +44,7 @@ docs-check: vet
 # dashbench pipeline (workload → harness → CLI → JSON) end to end; the cost
 # model is off (-scale 0) so it measures nothing, it only has to run.
 bench-smoke:
-	$(GO) run ./cmd/dashbench -only -mix balanced,read,var-insert,var-read -threads 2 \
+	$(GO) run ./cmd/dashbench -only -mix balanced,read,read-neg,var-insert,var-read -threads 2 \
 		-ops 8000 -warmup 800 -keyspace 8192 -scale 0 \
 		-out $${TMPDIR:-/tmp}/BENCH_smoke.json
 
@@ -58,10 +58,10 @@ bench-gate:
 
 # bench is the real measurement matrix (core mix suite plus the
 # variable-length mixes × 1..8 threads under the full Optane cost model)
-# and writes the trajectory file BENCH_pr5.json.
+# and writes the trajectory file BENCH_pr6.json.
 bench:
 	$(GO) run ./cmd/dashbench -threads 8 -ops 100000 -keyspace 100000 \
-		-mix var-insert,var-read,var-ycsb-b -out BENCH_pr5.json
+		-mix var-insert,var-read,var-ycsb-b -out BENCH_pr6.json
 
 # ci is the gate every change must pass: vet, build, the full test suite
 # under the race detector (the concurrency tests rely on it), the docs

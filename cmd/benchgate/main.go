@@ -7,9 +7,12 @@
 // The cells guard the wins this repo has banked: the u64-insert cell keeps
 // the inline fast path honest (p999/max insert latency from the
 // incremental-split rework, PM bytes per op from persist batching, plus a
-// load-factor floor so neither can be bought by splitting early), and the
+// load-factor floor so neither can be bought by splitting early), the
 // var-insert cell guards the variable-length record path through the PM
-// record log. Latency thresholds carry deliberate headroom over locally
+// record log, and the read cells (u64-read, var-read, read-neg) guard the
+// segment filter mirror's PM read-traffic elimination — read ceilings tight
+// enough that serving probes from PM again would fail immediately.
+// Latency thresholds carry deliberate headroom over locally
 // measured values — shared CI runners are noisy and the cost model charges
 // wall-clock spins — while the per-op traffic thresholds are tight, because
 // they are nearly deterministic. Update bench-gate.json in the same PR as
@@ -128,8 +131,8 @@ func runCell(cell gateCell) bool {
 		}
 		fmt.Printf("  %s %-26s %12.1f  (threshold <= %.1f)\n", status, name, got, max)
 	}
-	check("p999 insert latency ns", float64(res.P999NS), float64(th.P999NSMax))
-	check("max insert latency ns", float64(res.MaxNS), float64(th.MaxNSMax))
+	check("p999 latency ns", float64(res.P999NS), float64(th.P999NSMax))
+	check("max latency ns", float64(res.MaxNS), float64(th.MaxNSMax))
 	check("PM write bytes/op", res.WriteBytesPerOp, th.PMWriteBytesPerOpMax)
 	check("PM read bytes/op", res.ReadBytesPerOp, th.PMReadBytesPerOpMax)
 	if th.LoadFactorMin > 0 {

@@ -5,9 +5,9 @@
 //
 // The benchmark runs every cell of (mix × thread ladder): the thread ladder
 // is the powers of two up to -threads, and the mix set is the core suite
-// (insert, read, balanced, ycsb-b — always run so that every BENCH_*.json is
-// comparable across PRs) plus whatever -mix adds. Use -only to run exactly
-// the -mix list for quick experiments.
+// (insert, read, read-neg, balanced, ycsb-b — always run so that every
+// BENCH_*.json is comparable across PRs) plus whatever -mix adds. Use -only
+// to run exactly the -mix list for quick experiments.
 //
 // Results go to stdout as a human table and to -out as machine-readable
 // JSON for the repo's perf-trajectory tracking.
@@ -32,7 +32,7 @@ import (
 
 // coreSuite is the fixed mix set every full run includes, keeping BENCH
 // files comparable PR to PR.
-var coreSuite = []string{"insert", "read", "balanced", "ycsb-b"}
+var coreSuite = []string{"insert", "read", "read-neg", "balanced", "ycsb-b"}
 
 type cellJSON struct {
 	Mix       string  `json:"mix"`
@@ -65,6 +65,17 @@ type cellJSON struct {
 	DirCacheMisses  uint64  `json:"dir_cache_misses"`
 	DirCacheHitRate float64 `json:"dir_cache_hit_rate"`
 	DirCacheBytes   uint64  `json:"dir_cache_bytes"`
+
+	// Segment filter mirror telemetry over the measured phase (schema v4):
+	// mirror-served reads vs PM fallbacks vs missing-mirror bypasses, the
+	// mirrors' DRAM footprint, and the sampled self-check / heal counts.
+	SegFilterHits    uint64  `json:"seg_filter_hits"`
+	SegFilterMisses  uint64  `json:"seg_filter_misses"`
+	SegFilterBypass  uint64  `json:"seg_filter_bypass"`
+	SegFilterHitRate float64 `json:"seg_filter_hit_rate"`
+	SegFilterBytes   uint64  `json:"seg_filter_bytes"`
+	SegFilterChecks  uint64  `json:"seg_filter_checks"`
+	SegFilterHeals   uint64  `json:"seg_filter_heals"`
 
 	// Record-log shape after the run (variable-length mixes; zero for
 	// pure-inline cells): chunk bytes carved from the pool, live blob
@@ -139,7 +150,7 @@ func main() {
 		*warmup = *ops / 10
 	}
 
-	outJSON := benchJSON{Bench: "dashbench", SchemaVersion: 3}
+	outJSON := benchJSON{Bench: "dashbench", SchemaVersion: 4}
 	outJSON.Config.Keyspace = *keyspace
 	outJSON.Config.Theta = *theta
 	outJSON.Config.OpsPerRun = *ops
@@ -152,8 +163,8 @@ func main() {
 
 	for _, mix := range mixes {
 		fmt.Printf("\nmix %s\n", mix)
-		fmt.Printf("  %7s %9s %9s %9s %9s %9s %10s %10s %6s %5s %7s %6s\n",
-			"threads", "Mops/s", "p50(µs)", "p99(µs)", "p999(µs)", "max(µs)", "PMrd B/op", "PMwr B/op", "lf", "depth", "dchit%", "splits")
+		fmt.Printf("  %7s %9s %9s %9s %9s %9s %10s %10s %6s %5s %7s %7s %6s\n",
+			"threads", "Mops/s", "p50(µs)", "p99(µs)", "p999(µs)", "max(µs)", "PMrd B/op", "PMwr B/op", "lf", "depth", "dchit%", "fhit%", "splits")
 		for _, th := range ladder {
 			cfg := bench.Config{
 				Threads:   th,
@@ -172,13 +183,14 @@ func main() {
 			if err != nil {
 				fatal(fmt.Errorf("mix %s threads %d: %w", mix.Name, th, err))
 			}
-			fmt.Printf("  %7d %9.3f %9.1f %9.1f %9.1f %9.1f %10.1f %10.1f %6.2f %5d %7.3f %6d\n",
+			fmt.Printf("  %7d %9.3f %9.1f %9.1f %9.1f %9.1f %10.1f %10.1f %6.2f %5d %7.3f %7.3f %6d\n",
 				th, res.MopsPerS,
 				float64(res.P50NS)/1e3, float64(res.P99NS)/1e3,
 				float64(res.P999NS)/1e3, float64(res.MaxNS)/1e3,
 				res.ReadBytesPerOp, res.WriteBytesPerOp,
 				res.Table.LoadFactor, res.Table.GlobalDepth,
-				100*res.Table.DirCacheHitRate, res.Table.Splits)
+				100*res.Table.DirCacheHitRate, 100*res.Table.SegFilterHitRate,
+				res.Table.Splits)
 			if n := res.Counts.InsertOverflow; n > 0 {
 				fmt.Printf("          ^ %d inserts rejected with segment overflow\n", n)
 			}
@@ -282,6 +294,14 @@ func toCell(r *bench.Result) cellJSON {
 		DirCacheMisses:  r.Table.DirCacheMisses,
 		DirCacheHitRate: r.Table.DirCacheHitRate,
 		DirCacheBytes:   r.Table.DirCacheBytes,
+
+		SegFilterHits:    r.Table.SegFilterHits,
+		SegFilterMisses:  r.Table.SegFilterMisses,
+		SegFilterBypass:  r.Table.SegFilterBypass,
+		SegFilterHitRate: r.Table.SegFilterHitRate,
+		SegFilterBytes:   r.Table.SegFilterBytes,
+		SegFilterChecks:  r.Table.SegFilterChecks,
+		SegFilterHeals:   r.Table.SegFilterHeals,
 
 		LogChunkBytes: r.Table.LogChunkBytes,
 		LogLiveBytes:  r.Table.LogLiveBytes,

@@ -208,6 +208,15 @@ func Run(cfg Config) (*Result, error) {
 	if hm := res.Table.DirCacheHits + res.Table.DirCacheMisses; hm > 0 {
 		res.Table.DirCacheHitRate = float64(res.Table.DirCacheHits) / float64(hm)
 	}
+	res.Table.SegFilterHits -= tbefore.SegFilterHits
+	res.Table.SegFilterMisses -= tbefore.SegFilterMisses
+	res.Table.SegFilterBypass -= tbefore.SegFilterBypass
+	res.Table.SegFilterChecks -= tbefore.SegFilterChecks
+	res.Table.SegFilterHeals -= tbefore.SegFilterHeals
+	res.Table.SegFilterHitRate = 1
+	if n := res.Table.SegFilterHits + res.Table.SegFilterMisses + res.Table.SegFilterBypass; n > 0 {
+		res.Table.SegFilterHitRate = float64(res.Table.SegFilterHits) / float64(n)
+	}
 	res.Table.Splits -= tbefore.Splits
 	res.Table.SplitStallNS -= tbefore.SplitStallNS
 	res.Table.SplitAssists -= tbefore.SplitAssists

@@ -119,22 +119,40 @@ func recordAddr(b pmem.Addr, slot int) pmem.Addr {
 }
 
 // --- version lock (seqlock: even = free, odd = write-locked) ---
+//
+// Every lock/unlock pair also bumps the bucket's shadow version in the
+// segment's DRAM mirror (segfilter.go) when one is attached: odd on
+// acquisition, even again on release. All mirror write-through happens
+// inside that odd window, so a mirror reader that observes a stable even
+// shadow version holds a snapshot consistent with PM — the exact contract
+// bucketSearchOpt has with the PM version word. mir is nil on the paths
+// that run without a mirror (recovery, and mirror repair's own fill).
+// bi is the bucket's index within its segment, the mirror's coordinate.
 
-func lockBucket(p *pmem.Pool, b pmem.Addr) {
+func lockBucket(p *pmem.Pool, mir *segMirror, b pmem.Addr, bi int) {
 	va := b.Add(bkOffVersion)
 	for {
 		v := p.QuietLoadU64(va)
 		if v&1 == 0 && p.CompareAndSwapU64(va, v, v+1) {
+			if mir != nil {
+				mir.word(bi, mirBkVersion).Add(1)
+			}
 			return
 		}
 		runtime.Gosched()
 	}
 }
 
-func tryLockBucket(p *pmem.Pool, b pmem.Addr) bool {
+func tryLockBucket(p *pmem.Pool, mir *segMirror, b pmem.Addr, bi int) bool {
 	va := b.Add(bkOffVersion)
 	v := p.QuietLoadU64(va)
-	return v&1 == 0 && p.CompareAndSwapU64(va, v, v+1)
+	if v&1 == 0 && p.CompareAndSwapU64(va, v, v+1) {
+		if mir != nil {
+			mir.word(bi, mirBkVersion).Add(1)
+		}
+		return true
+	}
+	return false
 }
 
 // unlockBucket releases the lock and advances the version so that any
@@ -142,8 +160,13 @@ func tryLockBucket(p *pmem.Pool, b pmem.Addr) bool {
 // lock word is deliberately never flushed: it is DRAM-meaning state that
 // recovery resets wholesale after a crash. The store is quiet: the
 // acquisition CAS charged the header line, which stays cache-hot for the
-// whole critical section (write-side one-charge-per-line).
-func unlockBucket(p *pmem.Pool, b pmem.Addr) {
+// whole critical section (write-side one-charge-per-line). The shadow
+// version goes even first: once the PM version admits readers the mirror
+// must already be readable.
+func unlockBucket(p *pmem.Pool, mir *segMirror, b pmem.Addr, bi int) {
+	if mir != nil {
+		mir.word(bi, mirBkVersion).Add(1)
+	}
 	va := b.Add(bkOffVersion)
 	p.QuietStoreU64(va, p.QuietLoadU64(va)+1)
 }
@@ -197,7 +220,10 @@ func bucketFreeSlots(p *pmem.Pool, b pmem.Addr) int {
 // right before the directory publishes it — a crash before that point rolls
 // the whole sibling back, so nothing written into it needs individual
 // ordering.
-func bucketInsertLocked(p *pmem.Pool, b pmem.Addr, fp uint8, kv pmem.KV, persist bool) bool {
+// All mutators below write through to the segment mirror (mir, nil-able)
+// after mutating PM; the caller's lock holds the bucket's shadow version
+// odd, so the store order within the window is immaterial.
+func bucketInsertLocked(p *pmem.Pool, mir *segMirror, b pmem.Addr, bi int, fp uint8, kv pmem.KV, persist bool) bool {
 	m := p.QuietLoadU64(b.Add(bkOffMeta))
 	slot := metaFirstFree(m)
 	if slot < 0 {
@@ -231,17 +257,27 @@ func bucketInsertLocked(p *pmem.Pool, b pmem.Addr, fp uint8, kv pmem.KV, persist
 	if persist {
 		p.Persist(b.Add(bkOffMeta), 24)
 	}
+	if mir != nil {
+		mir.recWord(bi, slot, 1).Store(kv.Value)
+		mir.recWord(bi, slot, 0).Store(kv.Key)
+		mir.word(bi, mirBkFPLo).Store(lo)
+		mir.word(bi, mirBkFPHi).Store(hi)
+		mir.word(bi, mirBkMeta).Store(metaSetSlot(m, slot))
+	}
 	return true
 }
 
 // bucketDeleteLocked unpublishes a slot. Clearing the bitmap bit is the
 // whole operation; the record bytes and fingerprint become dead.
 // persist=false is for unpublished split siblings (see bucketInsertLocked).
-func bucketDeleteLocked(p *pmem.Pool, b pmem.Addr, slot int, persist bool) {
+func bucketDeleteLocked(p *pmem.Pool, mir *segMirror, b pmem.Addr, bi int, slot int, persist bool) {
 	m := p.QuietLoadU64(b.Add(bkOffMeta))
 	p.QuietStoreU64(b.Add(bkOffMeta), metaClearSlot(m, slot))
 	if persist {
 		p.Persist(b.Add(bkOffMeta), 8)
+	}
+	if mir != nil {
+		mir.word(bi, mirBkMeta).Store(metaClearSlot(m, slot))
 	}
 }
 
@@ -249,7 +285,7 @@ func bucketDeleteLocked(p *pmem.Pool, b pmem.Addr, slot int, persist bool) {
 // to stash bucket stashIdx: precisely (fingerprint + stash index) while a
 // tracking slot is free, otherwise by bumping the overflow count.
 // persist=false is for unpublished split siblings (see bucketInsertLocked).
-func bucketTrackOverflow(p *pmem.Pool, b pmem.Addr, fp uint8, stashIdx int, persist bool) {
+func bucketTrackOverflow(p *pmem.Pool, mir *segMirror, b pmem.Addr, bi int, fp uint8, stashIdx int, persist bool) {
 	m := p.QuietLoadU64(b.Add(bkOffMeta))
 	for i := 0; i < maxOvSlots; i++ {
 		if metaOvSlotUsed(m, i) {
@@ -261,11 +297,18 @@ func bucketTrackOverflow(p *pmem.Pool, b pmem.Addr, fp uint8, stashIdx int, pers
 		if persist {
 			p.Persist(b.Add(bkOffMeta), 24)
 		}
+		if mir != nil {
+			mir.word(bi, mirBkFPHi).Store(ovIdxSet(hi, i, stashIdx))
+			mir.word(bi, mirBkMeta).Store(metaSetOvFP(m, i, fp))
+		}
 		return
 	}
 	p.QuietStoreU64(b.Add(bkOffMeta), metaAddOvCount(m, +1))
 	if persist {
 		p.Persist(b.Add(bkOffMeta), 8)
+	}
+	if mir != nil {
+		mir.word(bi, mirBkMeta).Store(metaAddOvCount(m, +1))
 	}
 }
 
@@ -273,15 +316,18 @@ func bucketTrackOverflow(p *pmem.Pool, b pmem.Addr, fp uint8, stashIdx int, pers
 // stash: trackedSlot names the tracking slot when the record was tracked,
 // or -1 when it was only counted.
 // persist=false is for unpublished split siblings (see bucketInsertLocked).
-func bucketUntrackOverflow(p *pmem.Pool, b pmem.Addr, trackedSlot int, persist bool) {
+func bucketUntrackOverflow(p *pmem.Pool, mir *segMirror, b pmem.Addr, bi int, trackedSlot int, persist bool) {
 	m := p.QuietLoadU64(b.Add(bkOffMeta))
+	nm := metaAddOvCount(m, -1)
 	if trackedSlot >= 0 {
-		p.QuietStoreU64(b.Add(bkOffMeta), metaClearOvFP(m, trackedSlot))
-	} else {
-		p.QuietStoreU64(b.Add(bkOffMeta), metaAddOvCount(m, -1))
+		nm = metaClearOvFP(m, trackedSlot)
 	}
+	p.QuietStoreU64(b.Add(bkOffMeta), nm)
 	if persist {
 		p.Persist(b.Add(bkOffMeta), 8)
+	}
+	if mir != nil {
+		mir.word(bi, mirBkMeta).Store(nm)
 	}
 }
 

@@ -23,6 +23,13 @@
 //	               every operation, kept fresh by write-through from splits
 //	               and doublings, validated against PM before any miss is
 //	               trusted, and rebuilt in O(directory) on Open.
+//	segfilter.go — the same selective-persistence pattern one layer down:
+//	               a DRAM mirror per segment (bucket bitmaps, fingerprints
+//	               and record words under a shadow seqlock) that serves
+//	               read probes without touching PM buckets at all, written
+//	               through by every locked mutator, self-checked against
+//	               PM on a hash sample, healed in place, and rebuilt from
+//	               the reconciled image on Open.
 //	segment.go   — fixed arrays of 64 normal + 2 stash buckets; balanced
 //	               insert across a bucket pair, displacement into neighbors,
 //	               stash overflow with fingerprint tracking metadata.
@@ -35,9 +42,11 @@
 //
 // Everything persistent is addressed by pmem.Pool offsets, so the whole
 // structure survives pmem's simulated power loss (Pool.Crash) and reopens
-// from the durable media image via Open; the directory cache is the one
-// deliberately DRAM-only piece, reconstructible metadata kept out of the
-// persistence domain. The hash-bit contract shared by all layers —
+// from the durable media image via Open; the directory cache and the
+// per-segment filter mirrors are the deliberately DRAM-only pieces,
+// reconstructible state kept out of the persistence domain (Dash's
+// selective-persistence principle). The hash-bit contract shared by all
+// layers —
 // fingerprint from the low byte, bucket index from the next bits, directory
 // index from the MSBs — lives in hashfn.Parts.
 //

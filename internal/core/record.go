@@ -165,6 +165,46 @@ func recProbe(p *pmem.Pool, vl *pmem.VarLog, ra pmem.Addr, pk *probeKey) (pmem.K
 	return pmem.KV{Key: w0, Value: w1}, true
 }
 
+// mirRecMatch is recProbe against mirrored record words — the hash-filter
+// hook of the segment filter mirror (segfilter.go). Inline records compare
+// entirely in DRAM; an indirect candidate is pre-filtered by the mirrored
+// full key hash and length class (also DRAM) and only then verified against
+// the blob's key bytes, which remains a PM read: a 64-bit hash match is not
+// key equality, and skipping the byte compare would return wrong records on
+// hash collisions. That one dereference uses KeyEqualsPrefetch, charging
+// the whole blob as a single streaming read; blobHot=true tells the caller
+// the value bytes are already paid for (extract with recValueU64Opt /
+// recAppendValueOpt).
+func mirRecMatch(vl *pmem.VarLog, w0, w1 uint64, pk *probeKey) (pmem.KV, bool, bool) {
+	if !recIsIndirect(w0) {
+		match := false
+		if pk.kb == nil {
+			match = w0 == pk.u
+		} else if len(pk.kb) == 8 {
+			match = binary.LittleEndian.Uint64(pk.kb) == w0
+		}
+		if !match {
+			return pmem.KV{}, false, false
+		}
+		return pmem.KV{Key: w0, Value: w1}, false, true
+	}
+	if w1 != pk.parts.Hash {
+		return pmem.KV{}, false, false
+	}
+	if c := recClass(w0); c != 0 && c != klenClass(pk.keyLen()) {
+		return pmem.KV{}, false, false
+	}
+	blob := recBlobAddr(w0)
+	if pk.kb == nil {
+		if !vl.KeyEqualsPrefetchU64(blob, pk.u) {
+			return pmem.KV{}, false, false
+		}
+	} else if !vl.KeyEqualsPrefetch(blob, pk.kb) {
+		return pmem.KV{}, false, false
+	}
+	return pmem.KV{Key: w0, Value: w1}, true, true
+}
+
 // recValueU64 extracts the uint64 view of a matched record's value.
 func recValueU64(vl *pmem.VarLog, kv pmem.KV) uint64 {
 	if recIsIndirect(kv.Key) {
@@ -177,6 +217,31 @@ func recValueU64(vl *pmem.VarLog, kv pmem.KV) uint64 {
 // little-endian encoding for inline records).
 func recAppendValue(vl *pmem.VarLog, dst []byte, kv pmem.KV) []byte {
 	if recIsIndirect(kv.Key) {
+		return vl.AppendValue(dst, recBlobAddr(kv.Key))
+	}
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], kv.Value)
+	return append(dst, buf[:]...)
+}
+
+// recValueU64Opt is recValueU64 aware of a prefetched blob: blobHot means
+// the probe already charged the whole blob, so extraction is quiet.
+func recValueU64Opt(vl *pmem.VarLog, kv pmem.KV, blobHot bool) uint64 {
+	if recIsIndirect(kv.Key) {
+		if blobHot {
+			return vl.QuietValueU64(recBlobAddr(kv.Key))
+		}
+		return vl.ValueU64(recBlobAddr(kv.Key))
+	}
+	return kv.Value
+}
+
+// recAppendValueOpt is recAppendValue aware of a prefetched blob.
+func recAppendValueOpt(vl *pmem.VarLog, dst []byte, kv pmem.KV, blobHot bool) []byte {
+	if recIsIndirect(kv.Key) {
+		if blobHot {
+			return vl.QuietAppendValue(dst, recBlobAddr(kv.Key))
+		}
 		return vl.AppendValue(dst, recBlobAddr(kv.Key))
 	}
 	var buf [8]byte

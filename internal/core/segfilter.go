@@ -1,0 +1,410 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"unsafe"
+
+	"dash/internal/hashfn"
+	"dash/internal/pmem"
+)
+
+// DRAM-resident per-segment filter mirror — the dirCache pattern (PR 3)
+// pushed down one layer. The PM buckets remain the crash-consistent source
+// of truth, but on the read path they are mostly metadata traffic: a lookup
+// used to charge the home bucket's header line, one line per
+// fingerprint-matched record, and often the neighbor bucket's lines too,
+// before reaching the one thing that actually answers the query. All of
+// that is reconstructible, so every segment carries a mirror of its buckets
+// in ordinary Go memory:
+//
+//   - per bucket: a shadow of the seqlock version (odd while a locked
+//     mutator is mid-flight), the meta word (allocation bitmap + overflow
+//     tracking), both fingerprint words, and all 14 record word pairs —
+//     for inline records the key and value themselves, for indirect
+//     records the packed blob address and the stored full key hash;
+//   - per segment: the header's (local depth, pattern) claim, which lets a
+//     negative lookup validate its route without touching the PM directory
+//     or segment header.
+//
+// Reads therefore probe entirely in DRAM and dereference PM only for
+// record payloads that genuinely live there: an inline hit or any miss
+// costs zero charged PM lines, and an indirect hit charges exactly one
+// streaming read of its blob. Writers keep probing PM under their bucket
+// locks (the mirror never becomes load-bearing for mutation decisions, so
+// a poisoned mirror cannot corrupt PM) and write every mutation through to
+// the mirror while the bucket's shadow version is odd.
+//
+// Coherence mirrors the dirCache discipline:
+//
+//   - write-through from every locked mutator (insert, delete, in-place
+//     and copy-on-write update, displacement, stash spill and untrack,
+//     the publish sweep, and the split metadata bump), all inside the
+//     bucket's PM lock with the shadow version odd;
+//   - a split's sibling gets its mirror installed before the split marker
+//     is persisted, i.e. before any migrator or assisting writer can touch
+//     the sibling, so the sibling's mirror is complete the moment the
+//     publish makes the segment reachable;
+//   - lock-free readers validate against the shadow seqlock: a scan is
+//     trusted only if the bucket's shadow version was even and unchanged
+//     across it, which makes a stable mirror scan exactly as consistent
+//     as the PM scan it replaces;
+//   - negatives additionally check the mirrored (depth, pattern) claim and
+//     re-read the route afterwards — the DRAM equivalent of
+//     validateRoute. If the DRAM state cannot vouch for a miss, the
+//     operation falls back to the PM path; if PM then says the route was
+//     fine, the mirror itself must be stale and is repaired in place
+//     (mirrorRepair, the cacheRepair of this layer);
+//   - Create installs mirrors segment by segment; Open rebuilds them all
+//     from the reconciled PM image after recovery (mirrorRebuildAll, one
+//     streaming read per segment);
+//   - a hash-sampled cross-check (mirrorMaybeCheck) compares the home
+//     bucket's mirror against PM on ~1/1024 of mirror-served reads, so
+//     even a divergence with no detectable symptom (a poisoned bitmap
+//     yielding silent false negatives) is found and healed while costing
+//     well under one PM byte per operation.
+const (
+	mirBkVersion = 0 // shadow seqlock: odd while the bucket's PM lock is held
+	mirBkMeta    = 1 // mirror of the PM meta word (bitmap + overflow tracking)
+	mirBkFPLo    = 2 // mirror of fingerprint word 2
+	mirBkFPHi    = 3 // mirror of fingerprint word 3 (incl. stash indexes)
+	mirBkRecords = 4 // 2 words per slot: the record's word 0 and word 1
+	mirBkWords   = mirBkRecords + 2*slotsPerBucket
+
+	// mirrorSamplePeriod is the default sampling period of the PM
+	// cross-check: one mirror-served read in this many (selected by key
+	// hash, so the check adds no shared counter to the hot path) pays a
+	// few PM lines to compare its home bucket against the mirror.
+	mirrorSamplePeriod = 1024
+)
+
+// segMirror is the DRAM mirror of one segment. The object is permanent for
+// its segment address: repairs rewrite it in place, so a writer that
+// fetched the pointer before a repair keeps writing through to the object
+// being healed — each bucket's PM lock serializes the two.
+type segMirror struct {
+	depth   atomic.Uint64 // mirror of the segment header's local depth
+	pattern atomic.Uint64 // mirror of the segment header's pattern
+	w       [totalBuckets * mirBkWords]atomic.Uint64
+}
+
+// segMirrorBytes is the DRAM footprint one mirror adds, for Stats.
+var segMirrorBytes = uint64(unsafe.Sizeof(segMirror{}))
+
+func (m *segMirror) word(bi, off int) *atomic.Uint64 {
+	return &m.w[bi*mirBkWords+off]
+}
+
+func (m *segMirror) recWord(bi, slot, j int) *atomic.Uint64 {
+	return &m.w[bi*mirBkWords+mirBkRecords+2*slot+j]
+}
+
+// mirClaims is segClaims against the mirrored header words: does this
+// segment's (depth, pattern) claim the key? Pure DRAM.
+func mirClaims(mir *segMirror, parts hashfn.Parts) bool {
+	return hashfn.SegmentIndex(parts.Hash, uint8(mir.depth.Load())) == mir.pattern.Load()
+}
+
+// segFilters is the table's mirror registry plus its observability
+// counters. Hit/miss/bypass/check counters are sharded (routeCounter) like
+// the dirCache's, so the every-read increments cannot become a cross-thread
+// hotspot; heals are rare and use a single atomic.
+type segFilters struct {
+	m     sync.Map      // pmem.Addr (segment) → *segMirror
+	bytes atomic.Uint64 // DRAM held by installed mirrors
+
+	hits   routeCounter // reads served by a mirror (positive or validated miss)
+	misses routeCounter // mirror probes that fell back to the PM path
+	bypass routeCounter // reads that found no mirror installed (expected 0)
+	checks routeCounter // sampled mirror-vs-PM cross-checks run
+	heals  atomic.Uint64
+}
+
+// mirror returns seg's installed mirror, or nil (the PM fallback then
+// serves the operation and counts a bypass).
+func (t *Table) mirror(seg pmem.Addr) *segMirror {
+	if v, ok := t.filters.m.Load(seg); ok {
+		return v.(*segMirror)
+	}
+	return nil
+}
+
+// mirrorInstall registers a fresh zeroed mirror for seg carrying the given
+// header claim. Callers install before the segment becomes reachable
+// (Create formats unpublished segments; a split installs the sibling's
+// mirror before persisting the split marker), so no concurrent writer can
+// hold a previous object for this address.
+func (t *Table) mirrorInstall(seg pmem.Addr, depth uint8, pattern uint64) *segMirror {
+	mir := &segMirror{}
+	mir.depth.Store(uint64(depth))
+	mir.pattern.Store(pattern)
+	if _, loaded := t.filters.m.Load(seg); !loaded {
+		t.filters.bytes.Add(segMirrorBytes)
+	}
+	t.filters.m.Store(seg, mir)
+	return mir
+}
+
+// mirrorDrop forgets seg's mirror — the rollback path of a failed split,
+// whose sibling is leaked. An assisting writer that already fetched the
+// pointer may keep writing into the orphaned object; that is harmless,
+// since nothing ever routes to the leaked segment again.
+func (t *Table) mirrorDrop(seg pmem.Addr) {
+	if _, loaded := t.filters.m.Load(seg); loaded {
+		t.filters.m.Delete(seg)
+		t.filters.bytes.Add(^(segMirrorBytes - 1))
+	}
+}
+
+// mirrorFillBucket copies one bucket's PM words into the mirror. The
+// caller owns the bucket (its PM lock, or single-threaded recovery) and
+// has charged the bucket's header line; record lines are charged here as
+// one streaming read up to the highest used slot, like every bucket scan.
+func mirrorFillBucket(p *pmem.Pool, mir *segMirror, seg pmem.Addr, bi int) {
+	ba := segBucket(seg, bi)
+	m := p.QuietLoadU64(ba.Add(bkOffMeta))
+	mir.word(bi, mirBkMeta).Store(m)
+	mir.word(bi, mirBkFPLo).Store(p.QuietLoadU64(ba.Add(bkOffFPLo)))
+	mir.word(bi, mirBkFPHi).Store(p.QuietLoadU64(ba.Add(bkOffFPHi)))
+	touchRecordLines(p, ba, m)
+	for slot := 0; slot < slotsPerBucket; slot++ {
+		if !metaSlotUsed(m, slot) {
+			mir.recWord(bi, slot, 0).Store(0)
+			mir.recWord(bi, slot, 1).Store(0)
+			continue
+		}
+		ra := recordAddr(ba, slot)
+		mir.recWord(bi, slot, 0).Store(p.QuietLoadU64(ra))
+		mir.recWord(bi, slot, 1).Store(p.QuietLoadU64(ra.Add(8)))
+	}
+}
+
+// mirrorRebuildAll reconstructs every segment's mirror from the PM image —
+// the Open path, after recovery has reconciled directory, headers and
+// records. Single-threaded; O(data), one pass per segment, and the reason
+// reopening a table costs a full-table read where Create does not.
+func (t *Table) mirrorRebuildAll() {
+	p := t.pool
+	t.filters.m.Range(func(k, _ any) bool {
+		t.filters.m.Delete(k)
+		return true
+	})
+	t.filters.bytes.Store(0)
+	v := t.cache.view.Load()
+	seen := make(map[pmem.Addr]bool)
+	for i := range v.entries {
+		seg, local := unpackEntry(v.entries[i].Load())
+		if seg.IsNull() || seen[seg] {
+			continue
+		}
+		seen[seg] = true
+		mir := t.mirrorInstall(seg, local, segPattern(p, seg))
+		for bi := 0; bi < totalBuckets; bi++ {
+			p.TouchRead(segBucket(seg, bi), pmem.CachelineSize) // header line
+			mirrorFillBucket(p, mir, seg, bi)
+		}
+	}
+}
+
+// mirrorRepair reconciles seg's mirror with PM truth in place, bucket by
+// bucket under each bucket's PM lock — cacheRepair one layer down. The
+// header claim is copied first, under bucket 0's lock: a publish mutates
+// the header only while holding every bucket lock, so holding any one of
+// them excludes it.
+func (t *Table) mirrorRepair(seg pmem.Addr, mir *segMirror) {
+	p := t.pool
+	t.filters.heals.Add(1)
+	for bi := 0; bi < totalBuckets; bi++ {
+		ba := segBucket(seg, bi)
+		lockBucket(p, mir, ba, bi)
+		if bi == 0 {
+			mir.depth.Store(p.LoadU64(seg.Add(segOffDepth)))
+			mir.pattern.Store(p.QuietLoadU64(seg.Add(segOffPattern)))
+		}
+		mirrorFillBucket(p, mir, seg, bi)
+		unlockBucket(p, mir, ba, bi)
+	}
+}
+
+// --- lock-free mirror probes (the read path) ---
+
+// mirBucketSearch scans one mirrored bucket under its shadow seqlock, the
+// DRAM twin of bucketSearchOpt: it loops until a scan completes under an
+// unchanged even shadow version, so the returned record words — and the
+// meta/fingerprint words handed back for overflow-probing decisions — form
+// a consistent snapshot of the bucket. An indirect candidate's blob is
+// verified (and fully charged) during the scan; a match through a slot
+// that mutated mid-scan is discarded by the version recheck.
+func mirBucketSearch(vl *pmem.VarLog, mir *segMirror, bi int, pk *probeKey) (kv pmem.KV, blobHot, found bool, m, hi uint64) {
+	ver := mir.word(bi, mirBkVersion)
+	for {
+		v := ver.Load()
+		if v&1 != 0 {
+			runtime.Gosched()
+			continue
+		}
+		m = mir.word(bi, mirBkMeta).Load()
+		lo := mir.word(bi, mirBkFPLo).Load()
+		hi = mir.word(bi, mirBkFPHi).Load()
+		kv, blobHot, found = pmem.KV{}, false, false
+		for slot := 0; slot < slotsPerBucket; slot++ {
+			if !metaSlotUsed(m, slot) || fpGet(lo, hi, slot) != pk.parts.FP {
+				continue
+			}
+			w0 := mir.recWord(bi, slot, 0).Load()
+			w1 := mir.recWord(bi, slot, 1).Load()
+			if r, hot, ok := mirRecMatch(vl, w0, w1, pk); ok {
+				kv, blobHot, found = r, hot, true
+				break
+			}
+		}
+		if ver.Load() == v {
+			return
+		}
+	}
+}
+
+// mirSegSearch probes the mirrored segment like segSearchOpt: candidate
+// pair fingerprint-first, then the home bucket's overflow metadata into the
+// stash. Zero PM traffic except the blob read of an indirect hit.
+func mirSegSearch(vl *pmem.VarLog, mir *segMirror, pk *probeKey) (pmem.KV, bool, bool) {
+	b := int(pk.parts.BucketIndex(bucketBits))
+	b2 := (b + 1) % normalBuckets
+	kv, hot, found, m, hi := mirBucketSearch(vl, mir, b, pk)
+	if found {
+		return kv, hot, true
+	}
+	if kv2, hot2, f2, _, _ := mirBucketSearch(vl, mir, b2, pk); f2 {
+		return kv2, hot2, true
+	}
+	for i := 0; i < maxOvSlots; i++ {
+		if !metaOvSlotUsed(m, i) || metaOvFP(m, i) != pk.parts.FP {
+			continue
+		}
+		j := ovIdxGet(hi, i)
+		if kv2, hot2, f2, _, _ := mirBucketSearch(vl, mir, normalBuckets+j, pk); f2 {
+			return kv2, hot2, true
+		}
+	}
+	if metaOvCount(m) > 0 {
+		for j := 0; j < stashBuckets; j++ {
+			if kv2, hot2, f2, _, _ := mirBucketSearch(vl, mir, normalBuckets+j, pk); f2 {
+				return kv2, hot2, true
+			}
+		}
+	}
+	return pmem.KV{}, false, false
+}
+
+// --- sampled self-check ---
+
+// mirrorMaybeCheck cross-checks the probe's home bucket against PM on a
+// hash-selected sample of mirror-served reads (~1/mirrorSamplePeriod; the
+// selection uses hash bits disjoint from the routing bits so the sampled
+// set spans buckets). This is the safety net for divergence with no
+// hot-path symptom: a mirror that silently lost a slot answers misses that
+// nothing else would ever question. A detected mismatch heals the whole
+// segment's mirror.
+func (t *Table) mirrorMaybeCheck(seg pmem.Addr, mir *segMirror, pk *probeKey) {
+	if (pk.parts.Hash>>20)&t.mirrorSampleMask != 0 {
+		return
+	}
+	t.filters.checks.add()
+	if !t.mirrorBucketMatchesPM(seg, mir, int(pk.parts.BucketIndex(bucketBits))) {
+		t.mirrorRepair(seg, mir)
+	}
+}
+
+// mirrorBucketMatchesPM optimistically compares one bucket's mirror with
+// PM: both sides are snapshotted under stable (even, unchanged) versions,
+// which proves they describe the same quiescent state and are directly
+// comparable. Any racing writer — or an unlocked single-word record store,
+// which the seqlock deliberately does not cover — voids the comparison and
+// reports a (possibly spurious) match; only a doubly-stable mismatch is
+// real. PM reads are charged like any probe: the version load pays for the
+// header line, record lines are one streaming touch.
+func (t *Table) mirrorBucketMatchesPM(seg pmem.Addr, mir *segMirror, bi int) bool {
+	p := t.pool
+	ba := segBucket(seg, bi)
+	va := ba.Add(bkOffVersion)
+	pv := p.LoadU64(va)
+	mv := mir.word(bi, mirBkVersion).Load()
+	if pv&1 != 0 || mv&1 != 0 {
+		return true
+	}
+	m := p.QuietLoadU64(ba.Add(bkOffMeta))
+	lo := p.QuietLoadU64(ba.Add(bkOffFPLo))
+	hi := p.QuietLoadU64(ba.Add(bkOffFPHi))
+	ok := m == mir.word(bi, mirBkMeta).Load() &&
+		lo == mir.word(bi, mirBkFPLo).Load() &&
+		hi == mir.word(bi, mirBkFPHi).Load()
+	if ok {
+		touchRecordLines(p, ba, m)
+		for slot := 0; slot < slotsPerBucket && ok; slot++ {
+			if !metaSlotUsed(m, slot) {
+				continue
+			}
+			ra := recordAddr(ba, slot)
+			ok = p.QuietLoadU64(ra) == mir.recWord(bi, slot, 0).Load() &&
+				p.QuietLoadU64(ra.Add(8)) == mir.recWord(bi, slot, 1).Load()
+		}
+	}
+	if p.QuietLoadU64(va) != pv || mir.word(bi, mirBkVersion).Load() != mv {
+		return true // racing writer: nothing provable either way
+	}
+	return ok
+}
+
+// mirrorVerifySeg compares one segment's whole mirror against PM with
+// quiet loads — the quiescent-state debugging/test oracle behind the
+// coherence tests. Returns the number of mismatching buckets (header
+// claims count as bucket 0). Only meaningful while no writer runs.
+func (t *Table) mirrorVerifySeg(seg pmem.Addr) int {
+	p := t.pool
+	mir := t.mirror(seg)
+	if mir == nil {
+		return totalBuckets
+	}
+	bad := 0
+	if mir.depth.Load() != p.QuietLoadU64(seg.Add(segOffDepth)) ||
+		mir.pattern.Load() != p.QuietLoadU64(seg.Add(segOffPattern)) {
+		bad++
+	}
+	for bi := 0; bi < totalBuckets; bi++ {
+		ba := segBucket(seg, bi)
+		m := p.QuietLoadU64(ba.Add(bkOffMeta))
+		ok := m == mir.word(bi, mirBkMeta).Load() &&
+			p.QuietLoadU64(ba.Add(bkOffFPLo)) == mir.word(bi, mirBkFPLo).Load() &&
+			p.QuietLoadU64(ba.Add(bkOffFPHi)) == mir.word(bi, mirBkFPHi).Load()
+		for slot := 0; slot < slotsPerBucket && ok; slot++ {
+			if !metaSlotUsed(m, slot) {
+				continue
+			}
+			ra := recordAddr(ba, slot)
+			ok = p.QuietLoadU64(ra) == mir.recWord(bi, slot, 0).Load() &&
+				p.QuietLoadU64(ra.Add(8)) == mir.recWord(bi, slot, 1).Load()
+		}
+		if !ok {
+			bad++
+		}
+	}
+	return bad
+}
+
+// mirrorVerifyAll is mirrorVerifySeg over every directory-reachable
+// segment; the quiescent coherence oracle for tests.
+func (t *Table) mirrorVerifyAll() int {
+	v := t.cache.view.Load()
+	seen := make(map[pmem.Addr]bool)
+	bad := 0
+	for i := range v.entries {
+		seg, _ := unpackEntry(v.entries[i].Load())
+		if seg.IsNull() || seen[seg] {
+			continue
+		}
+		seen[seg] = true
+		bad += t.mirrorVerifySeg(seg)
+	}
+	return bad
+}

@@ -1,0 +1,313 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"dash/internal/pmem"
+)
+
+// The segment filter mirror (segfilter.go) is pure DRAM acceleration: PM
+// stays the source of truth and the mirror must agree with it at every
+// quiescent point — across splits, directory doublings, crash-recovery
+// rebuilds, and after deliberate corruption. mirrorVerifyAll is the oracle:
+// zero mismatching buckets table-wide.
+
+// TestMirrorCoherenceAfterSplits grows a table through many splits and at
+// least one directory doubling single-threaded, interleaving deletes and
+// updates, then requires the mirror to match PM exactly and every surviving
+// key to read back through the mirror path.
+func TestMirrorCoherenceAfterSplits(t *testing.T) {
+	tbl := newTestTable(t, 64<<20, Options{InitialDepth: 1})
+
+	live := map[uint64]uint64{}
+	const n = 4 * slotsPerSegment // forces splits and a doubling from depth 1
+	for k := uint64(0); k < n; k++ {
+		if err := tbl.Insert(k, k*3+1); err != nil {
+			t.Fatalf("insert %d: %v", k, err)
+		}
+		live[k] = k*3 + 1
+		switch k % 7 {
+		case 3:
+			del := k / 2
+			if _, ok := live[del]; ok {
+				if !tbl.Delete(del) {
+					t.Fatalf("delete %d: not found", del)
+				}
+				delete(live, del)
+			}
+		case 5:
+			upd := k / 3
+			if _, ok := live[upd]; ok {
+				if ok2, err := tbl.Update(upd, k); err != nil || !ok2 {
+					t.Fatalf("update %d: %v %v", upd, ok2, err)
+				}
+				live[upd] = k
+			}
+		}
+	}
+	st := tbl.Stats()
+	if st.GlobalDepth <= 1 {
+		t.Fatalf("expected the fill to deepen the directory, depth still %d", st.GlobalDepth)
+	}
+	if bad := tbl.mirrorVerifyAll(); bad != 0 {
+		t.Fatalf("mirror diverged from PM in %d buckets after splits", bad)
+	}
+	for k, want := range live {
+		if v, ok := tbl.Get(k); !ok || v != want {
+			t.Fatalf("key %d = %d,%v want %d", k, v, ok, want)
+		}
+	}
+	if st.SegFilterBytes != uint64(st.Segments)*segMirrorBytes {
+		t.Fatalf("SegFilterBytes = %d, want %d segments x %d",
+			st.SegFilterBytes, st.Segments, segMirrorBytes)
+	}
+	if st.SegFilterBypass != 0 {
+		t.Fatalf("%d reads bypassed the mirror; every segment should carry one", st.SegFilterBypass)
+	}
+}
+
+// TestMirrorCoherenceConcurrent drives mixed inserts, deletes, updates and
+// reads from several goroutines through splits and doublings (this is the
+// -race workout for the shadow-seqlock write-through protocol), then
+// verifies the quiescent mirror matches PM word for word.
+func TestMirrorCoherenceConcurrent(t *testing.T) {
+	tbl := newTestTable(t, 64<<20, Options{InitialDepth: 1})
+
+	const workers = 4
+	const perWorker = slotsPerSegment + 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w uint64) {
+			defer wg.Done()
+			base := w << 32
+			for i := uint64(0); i < perWorker; i++ {
+				k := base | i
+				if err := tbl.Insert(k, k^0x5A5A); err != nil {
+					t.Errorf("insert %#x: %v", k, err)
+					return
+				}
+				switch i % 5 {
+				case 1:
+					tbl.Get(base | (i / 2))
+				case 2:
+					tbl.Delete(base | (i / 2))
+				case 3:
+					tbl.Update(base|(i/3), i)
+				}
+			}
+		}(uint64(w))
+	}
+	wg.Wait()
+
+	if bad := tbl.mirrorVerifyAll(); bad != 0 {
+		t.Fatalf("mirror diverged from PM in %d buckets after concurrent load", bad)
+	}
+	if s := tbl.Stats(); s.Splits == 0 {
+		t.Fatal("fill completed without any split; the test exercised nothing")
+	}
+}
+
+// TestMirrorPoisonSelfHeal corrupts a key's home bucket in the mirror —
+// the silent-false-negative failure mode, invisible to every validation the
+// hot path runs — and proves the sampled cross-check finds and heals it.
+// Sampling is forced to 100% (mirrorSampleMask = 0) so one read suffices.
+func TestMirrorPoisonSelfHeal(t *testing.T) {
+	tbl := newTestTable(t, 16<<20, Options{})
+	tbl.mirrorSampleMask = 0
+
+	const key, val = 12345, 999
+	if err := tbl.Insert(key, val); err != nil {
+		t.Fatal(err)
+	}
+
+	pk := tbl.probeU64(key)
+	seg, _ := tbl.cache.route(pk.parts)
+	mir := tbl.mirror(seg)
+	if mir == nil {
+		t.Fatal("no mirror installed for the key's segment")
+	}
+	b := int(pk.parts.BucketIndex(bucketBits))
+	// Zero the home bucket's mirrored bitmap and fingerprints: the mirror
+	// now swears the key does not exist, and the negative still validates
+	// (depth/pattern claim and route are intact).
+	mir.word(b, mirBkMeta).Store(0)
+	mir.word(b, mirBkFPLo).Store(0)
+	mir.word(b, mirBkFPHi).Store(0)
+
+	healsBefore := tbl.filters.heals.Load()
+	// First read may be served the poisoned miss, but its sampled check
+	// compares the home bucket against PM, sees the divergence and repairs
+	// the whole segment's mirror in place.
+	tbl.Get(key)
+	if tbl.filters.heals.Load() == healsBefore {
+		t.Fatal("sampled cross-check did not trigger a heal")
+	}
+	if v, ok := tbl.Get(key); !ok || v != val {
+		t.Fatalf("post-heal Get = %d,%v want %d", v, ok, val)
+	}
+	if bad := tbl.mirrorVerifySeg(seg); bad != 0 {
+		t.Fatalf("segment mirror still has %d bad buckets after heal", bad)
+	}
+}
+
+// TestMirrorRebuildAfterCrash runs a randomized op history (fixed seed, both
+// inline and variable-length records), crashes the pool, reopens, and
+// requires the rebuilt mirrors to (a) match PM word for word and (b) give
+// exactly the answers the pre-crash history acknowledges — positives with
+// exact values, negatives for deleted and never-inserted keys, all served
+// through the mirror path.
+func TestMirrorRebuildAfterCrash(t *testing.T) {
+	pool, err := pmem.NewPool(pmem.Options{Size: 64 << 20, TrackCrashes: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := Create(pool, Options{InitialDepth: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(7))
+	live := map[uint64]uint64{}
+	liveVar := map[string]string{}
+	for i := 0; i < 3*slotsPerSegment; i++ {
+		switch op := rng.Intn(10); {
+		case op < 5: // inline insert
+			k, v := rng.Uint64()%100000, rng.Uint64()
+			if _, ok := live[k]; ok {
+				break
+			}
+			if err := tbl.Insert(k, v); err != nil {
+				t.Fatalf("insert: %v", err)
+			}
+			live[k] = v
+		case op < 7: // variable-length insert
+			k := fmt.Sprintf("var-key-%d-%d", rng.Intn(5000), rng.Intn(8))
+			v := fmt.Sprintf("value-%d", rng.Uint64())
+			if _, ok := liveVar[k]; ok {
+				break
+			}
+			if err := tbl.InsertB([]byte(k), []byte(v)); err != nil {
+				t.Fatalf("insertB: %v", err)
+			}
+			liveVar[k] = v
+		case op < 8: // delete a live key
+			for k := range live {
+				if !tbl.Delete(k) {
+					t.Fatalf("delete %d: not found", k)
+				}
+				delete(live, k)
+				break
+			}
+		default: // update a live key
+			for k := range live {
+				nv := rng.Uint64()
+				if ok, err := tbl.Update(k, nv); err != nil || !ok {
+					t.Fatalf("update %d: %v %v", k, ok, err)
+				}
+				live[k] = nv
+				break
+			}
+		}
+	}
+
+	pool.Crash()
+	tbl2, err := Open(pool)
+	if err != nil {
+		t.Fatalf("Open after crash: %v", err)
+	}
+	defer tbl2.Close()
+
+	if bad := tbl2.mirrorVerifyAll(); bad != 0 {
+		t.Fatalf("rebuilt mirror diverges from PM in %d buckets", bad)
+	}
+	for k, want := range live {
+		if v, ok := tbl2.Get(k); !ok || v != want {
+			t.Fatalf("after rebuild: key %d = %d,%v want %d", k, v, ok, want)
+		}
+	}
+	for k, want := range liveVar {
+		v, ok := tbl2.GetB([]byte(k))
+		if !ok || string(v) != want {
+			t.Fatalf("after rebuild: key %q = %q,%v want %q", k, v, ok, want)
+		}
+	}
+	for k := uint64(200000); k < 200100; k++ { // never inserted
+		if _, ok := tbl2.Get(k); ok {
+			t.Fatalf("after rebuild: phantom key %d", k)
+		}
+	}
+	if st := tbl2.Stats(); st.SegFilterBypass != 0 {
+		t.Fatalf("%d post-rebuild reads found no mirror", st.SegFilterBypass)
+	}
+}
+
+// TestMirrorDuringSplitMigration pauses the first split mid-migration (the
+// PR 4 assist-test pattern) and probes every acknowledged key through the
+// mirror path while half the old segment is copied and the sibling is
+// unpublished: the sibling's mirror is installed before the split marker, so
+// reads must stay exact throughout. After release, the published mirrors
+// must match PM.
+func TestMirrorDuringSplitMigration(t *testing.T) {
+	tbl := newTestTable(t, 16<<20, Options{InitialDepth: 1})
+
+	acked := make(map[uint64]uint64)
+	paused := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	tbl.hookMidMigrate = func(_ pmem.Addr, bucket int) {
+		if bucket != normalBuckets/2 {
+			return
+		}
+		once.Do(func() {
+			close(paused)
+			select {
+			case <-release:
+			case <-time.After(splitTestTimeout):
+				t.Error("prober never released the paused split")
+			}
+		})
+	}
+
+	proberDone := make(chan struct{})
+	go func() {
+		defer close(proberDone)
+		<-paused
+		// The inserter is parked inside the hook, so acked is frozen and the
+		// channel close orders these reads after its last write.
+		for k, want := range acked {
+			if v, ok := tbl.Get(k); !ok || v != want {
+				t.Errorf("mid-split mirror probe: key %d = %d,%v want %d", k, v, ok, want)
+				break
+			}
+		}
+		// Absent keys must also miss cleanly mid-split.
+		for k := uint64(1 << 60); k < 1<<60+50; k++ {
+			if _, ok := tbl.Get(k); ok {
+				t.Errorf("mid-split mirror probe: phantom key %d", k)
+				break
+			}
+		}
+		close(release)
+	}()
+
+	for k := uint64(0); k < 3*slotsPerSegment; k++ {
+		if err := tbl.Insert(k, k*7+3); err != nil {
+			t.Fatalf("insert %d: %v", k, err)
+		}
+		acked[k] = k*7 + 3
+	}
+	select {
+	case <-proberDone:
+	case <-time.After(splitTestTimeout):
+		t.Fatal("prober did not finish")
+	}
+
+	if bad := tbl.mirrorVerifyAll(); bad != 0 {
+		t.Fatalf("mirror diverged from PM in %d buckets after the split published", bad)
+	}
+}

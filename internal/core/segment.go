@@ -91,11 +91,18 @@ func segClaims(p *pmem.Pool, seg pmem.Addr, parts hashfn.Parts) bool {
 	return hashfn.SegmentIndex(parts.Hash, l) == segPattern(p, seg)
 }
 
-// segSetMeta updates local depth and pattern and persists the header line.
-func segSetMeta(p *pmem.Pool, seg pmem.Addr, depth uint8, pattern uint64) {
+// segSetMeta updates local depth and pattern and persists the header line,
+// writing through to the segment's DRAM mirror when one is attached. The
+// only concurrent caller is the split publish, which holds every bucket
+// lock, so mirror readers cannot observe the claim mid-change.
+func segSetMeta(p *pmem.Pool, mir *segMirror, seg pmem.Addr, depth uint8, pattern uint64) {
 	p.StoreU64(seg.Add(segOffDepth), uint64(depth))
 	p.StoreU64(seg.Add(segOffPattern), pattern)
 	p.Persist(seg, segHeaderSize)
+	if mir != nil {
+		mir.depth.Store(uint64(depth))
+		mir.pattern.Store(pattern)
+	}
 }
 
 // segInit zeroes a freshly allocated segment and writes its header. The
@@ -117,17 +124,17 @@ func segPersist(p *pmem.Pool, seg pmem.Addr) {
 // order; with every writer following the same order (normal buckets
 // ascending, then stash buckets ascending, displacement targets only via
 // trylock) the lock graph is acyclic.
-func lockPair(p *pmem.Pool, seg pmem.Addr, b1, b2 int) {
+func lockPair(p *pmem.Pool, mir *segMirror, seg pmem.Addr, b1, b2 int) {
 	if b2 < b1 {
 		b1, b2 = b2, b1
 	}
-	lockBucket(p, segBucket(seg, b1))
-	lockBucket(p, segBucket(seg, b2))
+	lockBucket(p, mir, segBucket(seg, b1), b1)
+	lockBucket(p, mir, segBucket(seg, b2), b2)
 }
 
-func unlockPair(p *pmem.Pool, seg pmem.Addr, b1, b2 int) {
-	unlockBucket(p, segBucket(seg, b1))
-	unlockBucket(p, segBucket(seg, b2))
+func unlockPair(p *pmem.Pool, mir *segMirror, seg pmem.Addr, b1, b2 int) {
+	unlockBucket(p, mir, segBucket(seg, b1), b1)
+	unlockBucket(p, mir, segBucket(seg, b2), b2)
 }
 
 // recLoc names a record inside a segment.
@@ -213,7 +220,7 @@ func segFindW0Locked(p *pmem.Pool, seg pmem.Addr, parts hashfn.Parts, w0 uint64)
 // concurrent=false is the single-owner path used by recovery. persist=false
 // defers durability to a whole-segment flush (unpublished split siblings;
 // see bucketInsertLocked).
-func segInsertLocked(p *pmem.Pool, seg pmem.Addr, parts hashfn.Parts, kv pmem.KV, concurrent, persist bool, seed uint64) bool {
+func segInsertLocked(p *pmem.Pool, mir *segMirror, seg pmem.Addr, parts hashfn.Parts, kv pmem.KV, concurrent, persist bool, seed uint64) bool {
 	b := int(parts.BucketIndex(bucketBits))
 	b2 := (b + 1) % normalBuckets
 	ba, b2a := segBucket(seg, b), segBucket(seg, b2)
@@ -221,10 +228,10 @@ func segInsertLocked(p *pmem.Pool, seg pmem.Addr, parts hashfn.Parts, kv pmem.KV
 	// Balanced insert: prefer the bucket with more free slots, home on ties.
 	f1, f2 := bucketFreeSlots(p, ba), bucketFreeSlots(p, b2a)
 	if f1 >= f2 && f1 > 0 {
-		return bucketInsertLocked(p, ba, parts.FP, kv, persist)
+		return bucketInsertLocked(p, mir, ba, b, parts.FP, kv, persist)
 	}
 	if f2 > 0 {
-		return bucketInsertLocked(p, b2a, parts.FP, kv, persist)
+		return bucketInsertLocked(p, mir, b2a, b2, parts.FP, kv, persist)
 	}
 
 	// Displacement: make room in the probing bucket b2 by moving one of its
@@ -238,7 +245,7 @@ func segInsertLocked(p *pmem.Pool, seg pmem.Addr, parts hashfn.Parts, kv pmem.KV
 	// the victim into the sibling.
 	b3 := (b2 + 1) % normalBuckets
 	b3a := segBucket(seg, b3)
-	if !concurrent || tryLockBucket(p, b3a) {
+	if !concurrent || tryLockBucket(p, mir, b3a, b3) {
 		// The split-marker check must follow the b3 lock acquisition: the
 		// migrator copies a bucket only under that bucket's lock and only
 		// after storing the marker, so reading no marker through the locks
@@ -256,16 +263,16 @@ func segInsertLocked(p *pmem.Pool, seg pmem.Addr, parts hashfn.Parts, kv pmem.KV
 				if int(vp.BucketIndex(bucketBits)) != b2 {
 					continue
 				}
-				bucketInsertLocked(p, b3a, vp.FP, vict, persist)
-				bucketDeleteLocked(p, b2a, slot, persist)
+				bucketInsertLocked(p, mir, b3a, b3, vp.FP, vict, persist)
+				bucketDeleteLocked(p, mir, b2a, b2, slot, persist)
 				if concurrent {
-					unlockBucket(p, b3a)
+					unlockBucket(p, mir, b3a, b3)
 				}
-				return bucketInsertLocked(p, b2a, parts.FP, kv, persist)
+				return bucketInsertLocked(p, mir, b2a, b2, parts.FP, kv, persist)
 			}
 		}
 		if concurrent {
-			unlockBucket(p, b3a)
+			unlockBucket(p, mir, b3a, b3)
 		}
 	}
 
@@ -276,14 +283,14 @@ func segInsertLocked(p *pmem.Pool, seg pmem.Addr, parts hashfn.Parts, kv pmem.KV
 	for j := 0; j < stashBuckets; j++ {
 		sa := segBucket(seg, normalBuckets+j)
 		if concurrent {
-			lockBucket(p, sa)
+			lockBucket(p, mir, sa, normalBuckets+j)
 		}
-		ok := bucketInsertLocked(p, sa, parts.FP, kv, persist)
+		ok := bucketInsertLocked(p, mir, sa, normalBuckets+j, parts.FP, kv, persist)
 		if concurrent {
-			unlockBucket(p, sa)
+			unlockBucket(p, mir, sa, normalBuckets+j)
 		}
 		if ok {
-			bucketTrackOverflow(p, ba, parts.FP, j, persist)
+			bucketTrackOverflow(p, mir, ba, b, parts.FP, j, persist)
 			return true
 		}
 	}
@@ -294,21 +301,21 @@ func segInsertLocked(p *pmem.Pool, seg pmem.Addr, parts hashfn.Parts, kv pmem.KV
 // metadata when the record lived in the stash. Caller holds the home pair's
 // locks (or owns the whole segment). persist=false defers durability
 // (unpublished split siblings; see bucketInsertLocked).
-func segDeleteAt(p *pmem.Pool, seg pmem.Addr, parts hashfn.Parts, loc recLoc, concurrent, persist bool) {
+func segDeleteAt(p *pmem.Pool, mir *segMirror, seg pmem.Addr, parts hashfn.Parts, loc recLoc, concurrent, persist bool) {
 	sa := segBucket(seg, loc.bucket)
 	if !loc.inStash() {
-		bucketDeleteLocked(p, sa, loc.slot, persist)
+		bucketDeleteLocked(p, mir, sa, loc.bucket, loc.slot, persist)
 		return
 	}
 	if concurrent {
-		lockBucket(p, sa)
+		lockBucket(p, mir, sa, loc.bucket)
 	}
-	bucketDeleteLocked(p, sa, loc.slot, persist)
+	bucketDeleteLocked(p, mir, sa, loc.bucket, loc.slot, persist)
 	if concurrent {
-		unlockBucket(p, sa)
+		unlockBucket(p, mir, sa, loc.bucket)
 	}
-	home := segBucket(seg, int(parts.BucketIndex(bucketBits)))
-	bucketUntrackOverflow(p, home, loc.tracked, persist)
+	hb := int(parts.BucketIndex(bucketBits))
+	bucketUntrackOverflow(p, mir, segBucket(seg, hb), hb, loc.tracked, persist)
 }
 
 // segSearchOpt is the lock-free read path: probe the candidate pair
@@ -370,7 +377,8 @@ func segSweep(p *pmem.Pool, seg pmem.Addr, seed uint64, drop func(parts hashfn.P
 				home := segBucket(seg, int(parts.BucketIndex(bucketBits)))
 				loc.tracked = findTrackedSlot(p, home, parts.FP, bi-normalBuckets)
 			}
-			segDeleteAt(p, seg, parts, loc, false, true)
+			// Recovery-only path: mirrors are rebuilt wholesale afterwards.
+			segDeleteAt(p, nil, seg, parts, loc, false, true)
 			removed++
 		}
 	}
@@ -394,7 +402,7 @@ func segSweep(p *pmem.Pool, seg pmem.Addr, seed uint64, drop func(parts hashfn.P
 // Unlike segSweep the drop decision is computed for all records first and
 // applied per meta word, so drop must not depend on sweep order (the split
 // publish's depth-bit predicate does not).
-func segSweepBatched(p *pmem.Pool, seg pmem.Addr, seed uint64, drop func(parts hashfn.Parts, kv pmem.KV) bool, known []uint64, knownValid []bool, hookMidSweep func()) int {
+func segSweepBatched(p *pmem.Pool, mir *segMirror, seg pmem.Addr, seed uint64, drop func(parts hashfn.Parts, kv pmem.KV) bool, known []uint64, knownValid []bool, hookMidSweep func()) int {
 	var metas [totalBuckets]uint64 // stack-sized: the sweep allocates nothing
 	var dirty [totalBuckets]bool
 	for bi := 0; bi < totalBuckets; bi++ {
@@ -450,6 +458,9 @@ func segSweepBatched(p *pmem.Pool, seg pmem.Addr, seed uint64, drop func(parts h
 		}
 		a := segBucket(seg, bi).Add(bkOffMeta)
 		p.QuietStoreU64(a, metas[bi]) // header line paid by the caller's lock
+		if mir != nil {
+			mir.word(bi, mirBkMeta).Store(metas[bi])
+		}
 		p.Flush(a, 8)
 		if !fenced && hookMidSweep != nil {
 			// Crash-injection point: first meta line flushed, fence and the

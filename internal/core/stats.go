@@ -62,6 +62,24 @@ type TableStats struct {
 	LogLiveBlobs  int64
 	LogFreeBytes  uint64
 
+	// Segment filter mirror (segfilter.go) accounting. SegFilterBytes is the
+	// DRAM held by installed per-segment mirrors. Hits are reads fully served
+	// by a mirror (positive, or a miss the mirror could vouch for); Misses
+	// are probes that fell back to the PM path; Bypass counts reads that
+	// found no mirror installed (expected 0 outside recovery windows).
+	// Checks counts sampled mirror-vs-PM cross-checks, Heals in-place mirror
+	// repairs (sampled check or validation disagreement). Counters are
+	// cumulative since Create/Open; windowed consumers subtract a baseline.
+	SegFilterBytes  uint64
+	SegFilterHits   uint64
+	SegFilterMisses uint64
+	SegFilterBypass uint64
+	// SegFilterHitRate is SegFilterHits over all mirror probe outcomes
+	// (1 when idle).
+	SegFilterHitRate float64
+	SegFilterChecks  uint64
+	SegFilterHeals   uint64
+
 	// Splits counts completed segment splits since Create/Open. Windowed
 	// consumers (internal/bench) subtract a baseline snapshot.
 	Splits uint64
@@ -106,6 +124,7 @@ func (t *Table) Stats() TableStats {
 	}
 
 	hits, misses := t.cache.hits.total(), t.cache.misses.total()
+	fhits, fmisses, fbypass := t.filters.hits.total(), t.filters.misses.total(), t.filters.bypass.total()
 	lg := t.vlog.Stats()
 	st := TableStats{
 		Count:            t.count.Load(),
@@ -119,6 +138,13 @@ func (t *Table) Stats() TableStats {
 		DirCacheHitRate:  1,
 		DirCacheRebuilds: t.cache.rebuilds.Load(),
 		DirCacheBytes:    8 * uint64(len(v.entries)),
+		SegFilterBytes:   t.filters.bytes.Load(),
+		SegFilterHits:    fhits,
+		SegFilterMisses:  fmisses,
+		SegFilterBypass:  fbypass,
+		SegFilterHitRate: 1,
+		SegFilterChecks:  t.filters.checks.total(),
+		SegFilterHeals:   t.filters.heals.Load(),
 		LogChunkBytes:    lg.ChunkBytes,
 		LogLiveBytes:     lg.LiveBytes,
 		LogLiveBlobs:     lg.LiveBlobs,
@@ -129,6 +155,9 @@ func (t *Table) Stats() TableStats {
 	}
 	if hits+misses > 0 {
 		st.DirCacheHitRate = float64(hits) / float64(hits+misses)
+	}
+	if n := fhits + fmisses + fbypass; n > 0 {
+		st.SegFilterHitRate = float64(fhits) / float64(n)
 	}
 	if st.SlotCapacity > 0 {
 		st.LoadFactor = float64(st.Count) / float64(st.SlotCapacity)

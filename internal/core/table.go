@@ -112,6 +112,14 @@ type Table struct {
 	// the first stop of every operation's key → segment routing.
 	cache dirCache
 
+	// filters is the per-segment DRAM filter mirror registry (segfilter.go),
+	// the cache's counterpart one layer down: reads probe buckets in DRAM
+	// and touch PM only for blob payloads. mirrorSampleMask tunes the
+	// sampled mirror-vs-PM cross-check (period-1; 0 checks every
+	// mirror-served read — the deterministic mode coherence tests use).
+	filters          segFilters
+	mirrorSampleMask uint64
+
 	// dirMu serializes directory mutation: doubling, the entry flips of a
 	// split publish, and cache repair/rebuild. Splits themselves are
 	// per-segment (claimed via the segment header's split-state word) and
@@ -167,7 +175,8 @@ func Create(pool *pmem.Pool, opt Options) (*Table, error) {
 		opt.InitialDepth = 1
 	}
 	p := pool
-	t := &Table{pool: p, em: epoch.NewManager(), seed: opt.Seed}
+	t := &Table{pool: p, em: epoch.NewManager(), seed: opt.Seed,
+		mirrorSampleMask: mirrorSamplePeriod - 1}
 
 	p.WriteU64(rootAddr.Add(rootOffMagic), 0) // not a table until fully formatted
 	p.WriteU64(rootAddr.Add(rootOffFormat), tableFormat)
@@ -186,6 +195,7 @@ func Create(pool *pmem.Pool, opt Options) (*Table, error) {
 		}
 		segInit(p, seg, opt.InitialDepth, uint64(i))
 		segPersist(p, seg)
+		t.mirrorInstall(seg, opt.InitialDepth, uint64(i))
 		segs[i] = seg
 	}
 	dir, err := t.alloc(dirSize(opt.InitialDepth))
@@ -214,9 +224,10 @@ func Open(pool *pmem.Pool) (*Table, error) {
 		return nil, fmt.Errorf("core: unsupported table format %d (want %d)", f, tableFormat)
 	}
 	t := &Table{
-		pool: p,
-		em:   epoch.NewManager(),
-		seed: p.ReadU64(rootAddr.Add(rootOffSeed)),
+		pool:             p,
+		em:               epoch.NewManager(),
+		seed:             p.ReadU64(rootAddr.Add(rootOffSeed)),
+		mirrorSampleMask: mirrorSamplePeriod - 1,
 	}
 	t.vlog = pmem.NewVarLog(p, rootAddr.Add(rootOffVarLog), 0, t.alloc)
 	if err := t.recover(); err != nil {
@@ -408,34 +419,35 @@ func (t *Table) insertKV(pk *probeKey, kv pmem.KV) error {
 	b2 := (b + 1) % normalBuckets
 	for {
 		seg, _ := t.cache.route(parts)
-		lockPair(p, seg, b, b2)
+		mir := t.mirror(seg)
+		lockPair(p, mir, seg, b, b2)
 		if !t.validateRoute(parts, seg) {
-			unlockPair(p, seg, b, b2)
+			unlockPair(p, mir, seg, b, b2)
 			t.cache.misses.add()
 			t.cacheRepair(parts)
 			continue
 		}
 		t.cache.hits.add()
 		if _, found := segFindLocked(p, t.vlog, seg, pk); found {
-			unlockPair(p, seg, b, b2)
+			unlockPair(p, mir, seg, b, b2)
 			return ErrKeyExists
 		}
-		if segInsertLocked(p, seg, parts, kv, true, true, t.seed) {
+		if segInsertLocked(p, mir, seg, parts, kv, true, true, t.seed) {
 			if sib := t.splitSibling(seg, parts); !sib.IsNull() && !t.assistInsert(sib, pk, kv) {
 				// The in-flight split's sibling cannot absorb the key's
 				// copy: the split is overflowing pathologically. Undo and
 				// surface it, matching what the migrator will report.
 				if loc, found := segFindLocked(p, t.vlog, seg, pk); found {
-					segDeleteAt(p, seg, parts, loc, true, true)
+					segDeleteAt(p, mir, seg, parts, loc, true, true)
 				}
-				unlockPair(p, seg, b, b2)
+				unlockPair(p, mir, seg, b, b2)
 				return ErrSegmentOverflow
 			}
-			unlockPair(p, seg, b, b2)
+			unlockPair(p, mir, seg, b, b2)
 			t.count.Add(1)
 			return nil
 		}
-		unlockPair(p, seg, b, b2)
+		unlockPair(p, mir, seg, b, b2)
 		if err := t.split(parts, seg); err != nil {
 			return err
 		}
@@ -456,11 +468,11 @@ func (t *Table) Get(key uint64) (uint64, bool) {
 	g := t.em.Enter()
 	defer g.Exit()
 	pk := t.probeU64(key)
-	kv, found := t.searchOpt(&pk)
+	kv, blobHot, found := t.searchOpt(&pk)
 	if !found {
 		return 0, false
 	}
-	return recValueU64(t.vlog, kv), true
+	return recValueU64Opt(t.vlog, kv, blobHot), true
 }
 
 // GetB returns a copy of the value stored under a variable-length key (an
@@ -475,26 +487,80 @@ func (t *Table) GetBAppend(dst, key []byte) ([]byte, bool) {
 	g := t.em.Enter()
 	defer g.Exit()
 	pk := t.probeBytes(key)
-	kv, found := t.searchOpt(&pk)
+	kv, blobHot, found := t.searchOpt(&pk)
 	if !found {
 		return dst, false
 	}
-	return recAppendValue(t.vlog, dst, kv), true
+	return recAppendValueOpt(t.vlog, dst, kv, blobHot), true
 }
 
-// searchOpt is the shared lock-free read protocol; the returned record
-// words stay interpretable under the caller's epoch guard.
-func (t *Table) searchOpt(pk *probeKey) (pmem.KV, bool) {
+// searchOpt is the shared lock-free read protocol, probing the segment's
+// DRAM filter mirror first (segfilter.go):
+//
+//   - a stable mirror hit is immediately valid, by the same argument as a
+//     stable PM hit (a key's record is physically present only in segments
+//     the directory routes it to, and the mirror's shadow seqlock makes a
+//     stable scan equivalent to a stable PM scan). blobHot reports that an
+//     indirect hit's blob was already charged in full by the probe.
+//   - a mirror miss is trusted entirely in DRAM when (a) the mirrored
+//     segment header still claims the key and (b) the route, re-read after
+//     the scans, still names this segment. That ordering is what makes it
+//     sound: a split publish updates the directory cache and the mirrored
+//     claim while holding every bucket lock, so any record this probe's
+//     stable per-bucket scans could have missed (swept to the sibling)
+//     implies the publish unlocked before some scan — and then the
+//     route recheck, which runs after all scans, sees the new route.
+//   - anything else falls back to PM: a validateRoute success there means
+//     DRAM disagreed with PM truth, so the mirror heals itself
+//     (mirrorRepair) and the probe retries; a failure is the ordinary
+//     stale-route path (cacheRepair + retry).
+//
+// A sampled cross-check (mirrorMaybeCheck) guards the trusted outcomes
+// against silent mirror corruption. The returned record words stay
+// interpretable under the caller's epoch guard.
+func (t *Table) searchOpt(pk *probeKey) (pmem.KV, bool, bool) {
 	p := t.pool
 	for {
 		seg, _ := t.cache.route(pk.parts)
-		if kv, found := segSearchOpt(p, t.vlog, seg, pk); found {
-			t.cache.hits.add()
-			return kv, true
+		mir := t.mirror(seg)
+		if mir == nil {
+			// No mirror installed (unexpected steady-state): PM path.
+			t.filters.bypass.add()
+			if kv, found := segSearchOpt(p, t.vlog, seg, pk); found {
+				t.cache.hits.add()
+				return kv, false, true
+			}
+			if t.validateRoute(pk.parts, seg) {
+				t.cache.hits.add()
+				return pmem.KV{}, false, false
+			}
+			t.cache.misses.add()
+			t.cacheRepair(pk.parts)
+			continue
 		}
-		if t.validateRoute(pk.parts, seg) {
+		kv, blobHot, found := mirSegSearch(t.vlog, mir, pk)
+		if found {
 			t.cache.hits.add()
-			return pmem.KV{}, false
+			t.filters.hits.add()
+			t.mirrorMaybeCheck(seg, mir, pk)
+			return kv, blobHot, true
+		}
+		if mirClaims(mir, pk.parts) {
+			if seg2, _ := t.cache.route(pk.parts); seg2 == seg {
+				t.cache.hits.add()
+				t.filters.hits.add()
+				t.mirrorMaybeCheck(seg, mir, pk)
+				return pmem.KV{}, false, false
+			}
+		}
+		t.filters.misses.add()
+		if t.validateRoute(pk.parts, seg) {
+			// PM vouches for the route the DRAM state would not: the
+			// mirror (claim or directory cache entry) is out of sync with
+			// PM. Heal the mirror and retry; a stale cache entry instead
+			// fails the validation below and repairs there.
+			t.mirrorRepair(seg, mir)
+			continue
 		}
 		t.cache.misses.add()
 		t.cacheRepair(pk.parts)
@@ -524,9 +590,10 @@ func (t *Table) deleteByProbe(pk *probeKey) bool {
 	b2 := (b + 1) % normalBuckets
 	for {
 		seg, _ := t.cache.route(parts)
-		lockPair(p, seg, b, b2)
+		mir := t.mirror(seg)
+		lockPair(p, mir, seg, b, b2)
 		if !t.validateRoute(parts, seg) {
-			unlockPair(p, seg, b, b2)
+			unlockPair(p, mir, seg, b, b2)
 			t.cache.misses.add()
 			t.cacheRepair(parts)
 			continue
@@ -535,7 +602,7 @@ func (t *Table) deleteByProbe(pk *probeKey) bool {
 		loc, found := segFindLocked(p, t.vlog, seg, pk)
 		if found {
 			w0 := p.QuietLoadU64(recordAddr(segBucket(seg, loc.bucket), loc.slot))
-			segDeleteAt(p, seg, parts, loc, true, true)
+			segDeleteAt(p, mir, seg, parts, loc, true, true)
 			if sib := t.splitSibling(seg, parts); !sib.IsNull() {
 				t.assistDelete(sib, pk)
 			}
@@ -544,7 +611,7 @@ func (t *Table) deleteByProbe(pk *probeKey) bool {
 			}
 			t.count.Add(-1)
 		}
-		unlockPair(p, seg, b, b2)
+		unlockPair(p, mir, seg, b, b2)
 		return found
 	}
 }
@@ -622,9 +689,10 @@ func (t *Table) updateByProbe(pk *probeKey, vb []byte, vu uint64) (bool, error) 
 	inline8 := vb == nil || len(vb) == 8
 	for {
 		seg, _ := t.cache.route(parts)
-		lockPair(p, seg, b, b2)
+		mir := t.mirror(seg)
+		lockPair(p, mir, seg, b, b2)
 		if !t.validateRoute(parts, seg) {
-			unlockPair(p, seg, b, b2)
+			unlockPair(p, mir, seg, b, b2)
 			t.cache.misses.add()
 			t.cacheRepair(parts)
 			continue
@@ -632,7 +700,7 @@ func (t *Table) updateByProbe(pk *probeKey, vb []byte, vu uint64) (bool, error) 
 		t.cache.hits.add()
 		loc, found := segFindLocked(p, t.vlog, seg, pk)
 		if !found {
-			unlockPair(p, seg, b, b2)
+			unlockPair(p, mir, seg, b, b2)
 			freeBlob()
 			return false, nil
 		}
@@ -646,10 +714,17 @@ func (t *Table) updateByProbe(pk *probeKey, vb []byte, vu uint64) (bool, error) 
 			}
 			p.WriteValue(ra, v)
 			p.Persist(ra.Add(8), 8)
+			if mir != nil {
+				// Single-word mirror store; for a stash-resident record it
+				// happens outside the stash bucket's lock, which is exactly
+				// the PM store's own discipline — readers see the old or
+				// the new word, both linearizable.
+				mir.recWord(loc.bucket, loc.slot, 1).Store(v)
+			}
 			if sib := t.splitSibling(seg, parts); !sib.IsNull() {
 				t.assistUpdate(sib, pk, pmem.KV{Key: w0, Value: v})
 			}
-			unlockPair(p, seg, b, b2)
+			unlockPair(p, mir, seg, b, b2)
 			freeBlob()
 			return true, nil
 		}
@@ -667,7 +742,7 @@ func (t *Table) updateByProbe(pk *probeKey, vb []byte, vu uint64) (bool, error) 
 			var err error
 			blob, err = t.vlog.Append(pk.keyBytes(&kbuf), value)
 			if err != nil {
-				unlockPair(p, seg, b, b2)
+				unlockPair(p, mir, seg, b, b2)
 				return true, t.mapLogErr(err)
 			}
 			t.vlog.Commit(blob)
@@ -681,11 +756,14 @@ func (t *Table) updateByProbe(pk *probeKey, vb []byte, vu uint64) (bool, error) 
 			// Copy-on-write flip: word 1 already holds the key's hash.
 			p.StoreU64(ra, kv.Key)
 			p.Persist(ra, 8)
+			if mir != nil {
+				mir.recWord(loc.bucket, loc.slot, 0).Store(kv.Key)
+			}
 			if sib := t.splitSibling(seg, parts); !sib.IsNull() {
 				t.assistUpdate(sib, pk, kv)
 			}
 			t.retireBlob(recBlobAddr(w0))
-			unlockPair(p, seg, b, b2)
+			unlockPair(p, mir, seg, b, b2)
 			return true, nil
 		}
 
@@ -693,8 +771,8 @@ func (t *Table) updateByProbe(pk *probeKey, vb []byte, vu uint64) (bool, error) 
 		// record first, mirror it into any in-flight split's sibling, and
 		// only then delete the old inline slot — at every crash point the
 		// key exists at least once and at most twice (deduped by recovery).
-		if !segInsertLocked(p, seg, parts, kv, true, true, t.seed) {
-			unlockPair(p, seg, b, b2)
+		if !segInsertLocked(p, mir, seg, parts, kv, true, true, t.seed) {
+			unlockPair(p, mir, seg, b, b2)
 			if err := t.split(parts, seg); err != nil {
 				freeBlob()
 				return true, err
@@ -709,9 +787,9 @@ func (t *Table) updateByProbe(pk *probeKey, vb []byte, vu uint64) (bool, error) 
 			// stash lock — so the blob is epoch-retired, not freed for
 			// immediate reuse.
 			if nloc, ok := segFindW0Locked(p, seg, parts, kv.Key); ok {
-				segDeleteAt(p, seg, parts, nloc, true, true)
+				segDeleteAt(p, mir, seg, parts, nloc, true, true)
 			}
-			unlockPair(p, seg, b, b2)
+			unlockPair(p, mir, seg, b, b2)
 			t.retireBlob(blob)
 			return true, ErrSegmentOverflow
 		}
@@ -719,8 +797,8 @@ func (t *Table) updateByProbe(pk *probeKey, vb []byte, vu uint64) (bool, error) 
 		// have displaced records, but never this one (displacement only
 		// moves records homed in the probing neighbor b2; this key's home
 		// is b).
-		segDeleteAt(p, seg, parts, loc, true, true)
-		unlockPair(p, seg, b, b2)
+		segDeleteAt(p, mir, seg, parts, loc, true, true)
+		unlockPair(p, mir, seg, b, b2)
 		return true, nil
 	}
 }
@@ -779,6 +857,11 @@ func (t *Table) split(parts hashfn.Parts, oldSeg pmem.Addr) error {
 		return err
 	}
 	segInit(p, newSeg, l+1, pat<<1|1)
+	// The sibling's mirror must exist before the marker publishes the
+	// sibling to assisting writers: from the first assist on, every sibling
+	// mutation writes through, so the mirror is complete at publish time
+	// with no rebuild pass.
+	t.mirrorInstall(newSeg, l+1, pat<<1|1)
 
 	// Snapshot the assist counter before the marker becomes visible: any
 	// assist that could race the copy loop bumps it past a0, which is what
@@ -796,9 +879,12 @@ func (t *Table) split(parts hashfn.Parts, oldSeg pmem.Addr) error {
 		// Pathological one-sided overflow: roll back by clearing the
 		// marker. The sibling is leaked rather than reused — an assisting
 		// writer that read the marker just before the clear may still be
-		// writing into it under its bucket locks.
+		// writing into it under its bucket locks (and through a fetched
+		// mirror pointer; the dropped mirror object absorbs those stores
+		// harmlessly, since nothing routes to the leaked segment).
 		p.StoreU64(spa, 0)
 		p.Persist(spa, 8)
+		t.mirrorDrop(newSeg)
 		return ErrSegmentOverflow
 	}
 	return t.splitPublish(oldSeg, newSeg, l, pat, sc)
@@ -858,6 +944,7 @@ type splitCand struct {
 
 func (t *Table) splitMigrate(oldSeg, newSeg pmem.Addr, l uint8, a0 uint64) (*splitScan, bool) {
 	p := t.pool
+	oldMir, newMir := t.mirror(oldSeg), t.mirror(newSeg)
 
 	// Phase 1 — optimistic scan, no locks: migration never mutates the old
 	// segment, so each bucket is snapshotted seqlock-style (stable version
@@ -930,7 +1017,7 @@ func (t *Table) splitMigrate(oldSeg, newSeg pmem.Addr, l uint8, a0 uint64) (*spl
 	for h := 0; h < normalBuckets; h++ {
 		if cnt[h+1] > cnt[h] {
 			h2 := (h + 1) % normalBuckets
-			lockPair(p, newSeg, h, h2)
+			lockPair(p, newMir, newSeg, h, h2)
 			for _, c := range grouped[cnt[h]:cnt[h+1]] {
 				// Re-verify under the sibling lock; both loads share lines
 				// the scan already charged. Identity is the scanned word 0
@@ -953,12 +1040,12 @@ func (t *Table) splitMigrate(oldSeg, newSeg pmem.Addr, l uint8, a0 uint64) (*spl
 						continue
 					}
 				}
-				if !segInsertLocked(p, newSeg, c.rp, kv, true, false, t.seed) {
-					unlockPair(p, newSeg, h, h2)
+				if !segInsertLocked(p, newMir, newSeg, c.rp, kv, true, false, t.seed) {
+					unlockPair(p, newMir, newSeg, h, h2)
 					return sc, false
 				}
 			}
-			unlockPair(p, newSeg, h, h2)
+			unlockPair(p, newMir, newSeg, h, h2)
 		}
 		if t.hookMidMigrate != nil {
 			t.hookMidMigrate(oldSeg, h)
@@ -972,7 +1059,7 @@ func (t *Table) splitMigrate(oldSeg, newSeg pmem.Addr, l uint8, a0 uint64) (*spl
 	for j := 0; j < stashBuckets; j++ {
 		sa := segBucket(oldSeg, normalBuckets+j)
 		for slot := 0; slot < slotsPerBucket; slot++ {
-			if !t.splitCopyStashSlot(oldSeg, newSeg, sa, slot, l, a0) {
+			if !t.splitCopyStashSlot(oldMir, newMir, oldSeg, newSeg, sa, slot, l, a0) {
 				return sc, false
 			}
 		}
@@ -988,7 +1075,7 @@ func (t *Table) splitMigrate(oldSeg, newSeg pmem.Addr, l uint8, a0 uint64) (*spl
 // optimistically, its home pair locked, and the slot re-verified under the
 // locks; a slot that changed identity in between is retried with the new
 // key (bounded in practice: slots change only while writers win the race).
-func (t *Table) splitCopyStashSlot(oldSeg, newSeg, sa pmem.Addr, slot int, l uint8, a0 uint64) bool {
+func (t *Table) splitCopyStashSlot(oldMir, newMir *segMirror, oldSeg, newSeg, sa pmem.Addr, slot int, l uint8, a0 uint64) bool {
 	p := t.pool
 	for {
 		m := p.LoadU64(sa.Add(bkOffMeta))
@@ -999,27 +1086,27 @@ func (t *Table) splitCopyStashSlot(oldSeg, newSeg, sa pmem.Addr, slot int, l uin
 		rp := recSplitParts(kv0, t.seed)
 		hb := int(rp.BucketIndex(bucketBits))
 		hb2 := (hb + 1) % normalBuckets
-		lockPair(p, oldSeg, hb, hb2)
+		lockPair(p, oldMir, oldSeg, hb, hb2)
 		m = p.LoadU64(sa.Add(bkOffMeta))
 		kv := p.ReadKV(recordAddr(sa, slot))
 		if !metaSlotUsed(m, slot) || !recSameIdentity(kv0.Key, kv.Key, kv.Value, rp.Hash) {
-			unlockPair(p, oldSeg, hb, hb2)
+			unlockPair(p, oldMir, oldSeg, hb, hb2)
 			continue
 		}
 		ok := true
 		if rp.DepthBit(l) {
-			lockPair(p, newSeg, hb, hb2)
+			lockPair(p, newMir, newSeg, hb, hb2)
 			dup := false
 			if t.splitAssists.Load() != a0 {
 				pk, _ := probeOfRecord(t.vlog, kv, rp, nil)
 				_, dup = segFindLocked(p, t.vlog, newSeg, &pk)
 			}
 			if !dup {
-				ok = segInsertLocked(p, newSeg, rp, kv, true, false, t.seed)
+				ok = segInsertLocked(p, newMir, newSeg, rp, kv, true, false, t.seed)
 			}
-			unlockPair(p, newSeg, hb, hb2)
+			unlockPair(p, newMir, newSeg, hb, hb2)
 		}
-		unlockPair(p, oldSeg, hb, hb2)
+		unlockPair(p, oldMir, oldSeg, hb, hb2)
 		return ok
 	}
 }
@@ -1036,13 +1123,14 @@ func (t *Table) splitCopyStashSlot(oldSeg, newSeg, sa pmem.Addr, slot int, l uin
 // splitStallNS.
 func (t *Table) splitPublish(oldSeg, newSeg pmem.Addr, l uint8, pat uint64, sc *splitScan) error {
 	p := t.pool
+	oldMir := t.mirror(oldSeg)
 	begin := time.Now()
 	for i := 0; i < totalBuckets; i++ {
-		lockBucket(p, segBucket(oldSeg, i))
+		lockBucket(p, oldMir, segBucket(oldSeg, i), i)
 	}
 	defer func() {
 		for i := 0; i < totalBuckets; i++ {
-			unlockBucket(p, segBucket(oldSeg, i))
+			unlockBucket(p, oldMir, segBucket(oldSeg, i), i)
 		}
 		t.splitStallNS.Add(time.Since(begin).Nanoseconds())
 	}()
@@ -1064,9 +1152,10 @@ func (t *Table) splitPublish(oldSeg, newSeg pmem.Addr, l uint8, pat uint64, sc *
 		newDir, err := t.alloc(dirSize(g + 1))
 		if err != nil {
 			// Nothing is published yet: roll back like a migration
-			// failure. The sibling is leaked.
+			// failure. The sibling is leaked, its mirror dropped.
 			p.StoreU64(oldSeg.Add(segOffSplit), 0)
 			p.Persist(oldSeg.Add(segOffSplit), 8)
+			t.mirrorDrop(newSeg)
 			return err
 		}
 		dirInitDoubled(p, newDir, dir)
@@ -1097,7 +1186,7 @@ func (t *Table) splitPublish(oldSeg, newSeg pmem.Addr, l uint8, pat uint64, sc *
 	// from here a crash rolls forward through recovery's directory-driven
 	// reconciliation.
 	p.StoreU64(oldSeg.Add(segOffSplit), 0)
-	segSetMeta(p, oldSeg, l+1, pat<<1)
+	segSetMeta(p, oldMir, oldSeg, l+1, pat<<1)
 	// Sweep by the scan's moved-slot bitmaps wherever the bucket's seqlock
 	// version proves it unchanged since the scan (+1 is our own lock);
 	// mutated buckets and the stash are re-scanned.
@@ -1108,7 +1197,7 @@ func (t *Table) splitPublish(oldSeg, newSeg pmem.Addr, l uint8, pat uint64, sc *
 			sc.known[bi] = sc.moved[bi]
 		}
 	}
-	segSweepBatched(p, oldSeg, t.seed, func(rp hashfn.Parts, _ pmem.KV) bool {
+	segSweepBatched(p, oldMir, oldSeg, t.seed, func(rp hashfn.Parts, _ pmem.KV) bool {
 		return rp.DepthBit(l)
 	}, sc.known[:], sc.kvalid[:], t.hookMidSweep)
 	// Write-through before the deferred bucket unlocks: once writers can
@@ -1148,10 +1237,11 @@ func (t *Table) assistInsert(sib pmem.Addr, pk *probeKey, kv pmem.KV) bool {
 	// visible before any duplicate can be.
 	t.splitAssists.Add(1)
 	p := t.pool
+	sibMir := t.mirror(sib)
 	parts := pk.parts
 	b := int(parts.BucketIndex(bucketBits))
 	b2 := (b + 1) % normalBuckets
-	lockPair(p, sib, b, b2)
+	lockPair(p, sibMir, sib, b, b2)
 	// The key is fresh table-wide, but its sibling copy may already exist:
 	// if this insert reused a source slot the migration scan captured under
 	// the same key (delete + reinsert ABA), the migrator's locked re-verify
@@ -1161,9 +1251,9 @@ func (t *Table) assistInsert(sib pmem.Addr, pk *probeKey, kv pmem.KV) bool {
 	// it here — so probe before inserting.
 	ok := true
 	if _, dup := segFindLocked(p, t.vlog, sib, pk); !dup {
-		ok = segInsertLocked(p, sib, parts, kv, true, false, t.seed)
+		ok = segInsertLocked(p, sibMir, sib, parts, kv, true, false, t.seed)
 	}
-	unlockPair(p, sib, b, b2)
+	unlockPair(p, sibMir, sib, b, b2)
 	return ok
 }
 
@@ -1172,14 +1262,15 @@ func (t *Table) assistInsert(sib pmem.Addr, pk *probeKey, kv pmem.KV) bool {
 // would resurrect when the split publishes.
 func (t *Table) assistDelete(sib pmem.Addr, pk *probeKey) {
 	p := t.pool
+	sibMir := t.mirror(sib)
 	parts := pk.parts
 	b := int(parts.BucketIndex(bucketBits))
 	b2 := (b + 1) % normalBuckets
-	lockPair(p, sib, b, b2)
+	lockPair(p, sibMir, sib, b, b2)
 	if loc, found := segFindLocked(p, t.vlog, sib, pk); found {
-		segDeleteAt(p, sib, parts, loc, true, false)
+		segDeleteAt(p, sibMir, sib, parts, loc, true, false)
 	}
-	unlockPair(p, sib, b, b2)
+	unlockPair(p, sibMir, sib, b, b2)
 }
 
 // assistUpdate mirrors a value update into the sibling of an in-flight
@@ -1192,16 +1283,21 @@ func (t *Table) assistDelete(sib pmem.Addr, pk *probeKey) {
 // critical section serializes with this one.
 func (t *Table) assistUpdate(sib pmem.Addr, pk *probeKey, kv pmem.KV) {
 	p := t.pool
+	sibMir := t.mirror(sib)
 	parts := pk.parts
 	b := int(parts.BucketIndex(bucketBits))
 	b2 := (b + 1) % normalBuckets
-	lockPair(p, sib, b, b2)
+	lockPair(p, sibMir, sib, b, b2)
 	if loc, found := segFindLocked(p, t.vlog, sib, pk); found {
 		ra := recordAddr(segBucket(sib, loc.bucket), loc.slot)
 		p.StoreU64(ra.Add(8), kv.Value)
 		p.StoreU64(ra, kv.Key)
+		if sibMir != nil {
+			sibMir.recWord(loc.bucket, loc.slot, 1).Store(kv.Value)
+			sibMir.recWord(loc.bucket, loc.slot, 0).Store(kv.Key)
+		}
 	}
-	unlockPair(p, sib, b, b2)
+	unlockPair(p, sibMir, sib, b, b2)
 }
 
 // assistConvert mirrors a representation conversion (inline → indirect
@@ -1213,19 +1309,24 @@ func (t *Table) assistUpdate(sib pmem.Addr, pk *probeKey, kv pmem.KV) {
 func (t *Table) assistConvert(sib pmem.Addr, pk *probeKey, kv pmem.KV) bool {
 	t.splitAssists.Add(1) // before touching the sibling, like assistInsert
 	p := t.pool
+	sibMir := t.mirror(sib)
 	parts := pk.parts
 	b := int(parts.BucketIndex(bucketBits))
 	b2 := (b + 1) % normalBuckets
-	lockPair(p, sib, b, b2)
+	lockPair(p, sibMir, sib, b, b2)
 	ok := true
 	if loc, found := segFindLocked(p, t.vlog, sib, pk); found {
 		ra := recordAddr(segBucket(sib, loc.bucket), loc.slot)
 		p.StoreU64(ra.Add(8), kv.Value)
 		p.StoreU64(ra, kv.Key)
+		if sibMir != nil {
+			sibMir.recWord(loc.bucket, loc.slot, 1).Store(kv.Value)
+			sibMir.recWord(loc.bucket, loc.slot, 0).Store(kv.Key)
+		}
 	} else {
-		ok = segInsertLocked(p, sib, parts, kv, true, false, t.seed)
+		ok = segInsertLocked(p, sibMir, sib, parts, kv, true, false, t.seed)
 	}
-	unlockPair(p, sib, b, b2)
+	unlockPair(p, sibMir, sib, b, b2)
 	return ok
 }
 
@@ -1321,7 +1422,7 @@ func (t *Table) recover() error {
 		l := g - uint8(bits.TrailingZeros64(count))
 		pat := first >> (g - l)
 		if l != s.l || pat != s.pat {
-			segSetMeta(p, s.addr, l, pat)
+			segSetMeta(p, nil, s.addr, l, pat)
 		}
 		for i := 0; i < totalBuckets; i++ {
 			p.StoreU64(segBucket(s.addr, i).Add(bkOffVersion), 0)
@@ -1391,8 +1492,11 @@ func (t *Table) recover() error {
 		return err
 	}
 	// The PM image is reconciled; mirror it into the DRAM directory cache
-	// with one O(directory) pass.
+	// with one O(directory) pass, then rebuild the per-segment filter
+	// mirrors from the healed buckets (all recovery mutators above ran with
+	// a nil mirror, so nothing stale can survive this).
 	t.cacheRebuild()
+	t.mirrorRebuildAll()
 	return nil
 }
 
@@ -1444,7 +1548,7 @@ func (t *Table) sweepStashGhosts(seg pmem.Addr) {
 			if metaOvCount(p.QuietLoadU64(home.Add(bkOffMeta))) > 0 {
 				continue
 			}
-			bucketDeleteLocked(p, sa, slot, true)
+			bucketDeleteLocked(p, nil, sa, normalBuckets+j, slot, true)
 		}
 	}
 }

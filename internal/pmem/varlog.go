@@ -290,6 +290,58 @@ func (l *VarLog) KeyEqualsU64(a Addr, key uint64) bool {
 	return binary.LittleEndian.Uint64(p.QuietBytes(a.Add(BlobHeaderSize), 8)) == key
 }
 
+// KeyEqualsPrefetch is KeyEquals for callers that will extract the value on
+// a match: it charges one streaming read of the whole blob — header, key
+// and value occupy consecutive lines — instead of header+key now and the
+// value again later, so the extraction must use the Quiet variants
+// (QuietAppendValue, QuietValueU64). On the rare non-match (a full-hash
+// collision) the value lines are over-charged; the caller's filter makes
+// that negligible against the line the split charges would double-count on
+// every match.
+func (l *VarLog) KeyEqualsPrefetch(a Addr, key []byte) bool {
+	p := l.pool
+	klen, vlen := blobHeaderLens(p.QuietReadU64(a))
+	if klen != len(key) {
+		return false
+	}
+	p.TouchRead(a, BlobHeaderSize+uint64(klen)+uint64(vlen))
+	return string(p.QuietBytes(a.Add(BlobHeaderSize), uint64(klen))) == string(key)
+}
+
+// KeyEqualsPrefetchU64 is KeyEqualsPrefetch for the canonical 8-byte
+// little-endian encoding of a uint64 key.
+func (l *VarLog) KeyEqualsPrefetchU64(a Addr, key uint64) bool {
+	p := l.pool
+	klen, vlen := blobHeaderLens(p.QuietReadU64(a))
+	if klen != 8 {
+		return false
+	}
+	p.TouchRead(a, BlobHeaderSize+8+uint64(vlen))
+	return binary.LittleEndian.Uint64(p.QuietBytes(a.Add(BlobHeaderSize), 8)) == key
+}
+
+// QuietAppendValue is AppendValue without accounting, for callers whose
+// probe already charged the whole blob via KeyEqualsPrefetch.
+func (l *VarLog) QuietAppendValue(dst []byte, a Addr) []byte {
+	p := l.pool
+	klen, vlen := blobHeaderLens(p.QuietReadU64(a))
+	return append(dst, p.QuietBytes(a.Add(BlobHeaderSize+uint64(klen)), uint64(vlen))...)
+}
+
+// QuietValueU64 is ValueU64 without accounting, the KeyEqualsPrefetch
+// counterpart for uint64 values.
+func (l *VarLog) QuietValueU64(a Addr) uint64 {
+	p := l.pool
+	klen, vlen := blobHeaderLens(p.QuietReadU64(a))
+	n := uint64(vlen)
+	if n > 8 {
+		n = 8
+	}
+	var buf [8]byte
+	copy(buf[:], p.QuietBytes(a.Add(BlobHeaderSize+uint64(klen)), n))
+	return binary.LittleEndian.Uint64(buf[:])
+}
+
 // KeyBytes returns a copy of the blob's key (charged).
 func (l *VarLog) KeyBytes(a Addr) []byte {
 	p := l.pool
