@@ -10,11 +10,14 @@
 // to run exactly the -mix list for quick experiments.
 //
 // Results go to stdout as a human table and to -out as machine-readable
-// JSON for the repo's perf-trajectory tracking.
+// JSON for the repo's perf-trajectory tracking. -recovery additionally
+// reopens each cell's durable image and reports recovery phase timings, and
+// -debug-addr serves the live table's metrics registry, flight-recorder
+// trace and pprof over HTTP while the run progresses.
 //
 // Example:
 //
-//	go run ./cmd/dashbench -threads 8 -mix balanced
+//	go run ./cmd/dashbench -threads 8 -mix balanced -debug-addr localhost:6060
 package main
 
 import (
@@ -24,8 +27,11 @@ import (
 	"os"
 	"runtime/debug"
 	"strings"
+	"sync/atomic"
 
 	"dash/internal/bench"
+	"dash/internal/core"
+	"dash/internal/obs"
 	"dash/internal/pmem"
 	"dash/internal/workload"
 )
@@ -93,6 +99,25 @@ type cellJSON struct {
 	SplitAssists    uint64 `json:"split_assists"`
 	InsertOverflows int64  `json:"insert_overflows"`
 	InsertTooLarge  int64  `json:"insert_too_large"`
+
+	// Epoch-reclamation and record-log free-list telemetry over the measured
+	// phase (schema v5): objects retired/actually freed (plus the backlog at
+	// the end of the run), and blob allocations served by exact-capacity
+	// reuse vs fresh bump allocations.
+	EpochRetired   uint64 `json:"epoch_retired"`
+	EpochReclaimed uint64 `json:"epoch_reclaimed"`
+	EpochPending   uint64 `json:"epoch_pending"`
+	LogFreeHits    uint64 `json:"log_free_hits"`
+	LogFreeMisses  uint64 `json:"log_free_misses"`
+
+	// Recovery phase wall times from re-opening the cell's durable image
+	// (-recovery; zero otherwise): directory rebuild, segment reconcile,
+	// record-log sweep, DRAM mirror rebuild, and the whole Open.
+	RecoveryDirNS      int64 `json:"recovery_dir_ns,omitempty"`
+	RecoverySegmentsNS int64 `json:"recovery_segments_ns,omitempty"`
+	RecoveryLogNS      int64 `json:"recovery_log_ns,omitempty"`
+	RecoveryMirrorsNS  int64 `json:"recovery_mirrors_ns,omitempty"`
+	RecoveryTotalNS    int64 `json:"recovery_total_ns,omitempty"`
 }
 
 type benchJSON struct {
@@ -111,18 +136,20 @@ type benchJSON struct {
 
 func main() {
 	var (
-		threads  = flag.Int("threads", 8, "max worker goroutines; the run covers the powers-of-two ladder up to this")
-		ops      = flag.Int64("ops", 100_000, "measured operations per cell")
-		warmup   = flag.Int64("warmup", -1, "warmup operations per cell (-1 = ops/10)")
-		keyspace = flag.Uint64("keyspace", 100_000, "preloaded keys; positive ops draw from this range")
-		theta    = flag.Float64("theta", 0, "Zipfian skew in (0,1); 0 = uniform")
-		mixFlag  = flag.String("mix", "", "comma-separated mixes to run in addition to the core suite; 'all' runs every registered mix")
-		only     = flag.Bool("only", false, "run only the -mix list, skipping the core suite (quick experiments)")
-		poolSize = flag.Uint64("pool", 0, "PM pool bytes per cell (0 = sized automatically)")
-		seed     = flag.Uint64("seed", 42, "workload seed; identical seeds replay identical op sequences")
-		scale    = flag.Int64("scale", 1, "Optane cost-model speedup factor; 0 disables cost charging")
-		out      = flag.String("out", "BENCH_dashbench.json", "JSON output path ('' skips writing)")
-		list     = flag.Bool("list", false, "list registered mixes and exit")
+		threads   = flag.Int("threads", 8, "max worker goroutines; the run covers the powers-of-two ladder up to this")
+		ops       = flag.Int64("ops", 100_000, "measured operations per cell")
+		warmup    = flag.Int64("warmup", -1, "warmup operations per cell (-1 = ops/10)")
+		keyspace  = flag.Uint64("keyspace", 100_000, "preloaded keys; positive ops draw from this range")
+		theta     = flag.Float64("theta", 0, "Zipfian skew in (0,1); 0 = uniform")
+		mixFlag   = flag.String("mix", "", "comma-separated mixes to run in addition to the core suite; 'all' runs every registered mix")
+		only      = flag.Bool("only", false, "run only the -mix list, skipping the core suite (quick experiments)")
+		poolSize  = flag.Uint64("pool", 0, "PM pool bytes per cell (0 = sized automatically)")
+		seed      = flag.Uint64("seed", 42, "workload seed; identical seeds replay identical op sequences")
+		scale     = flag.Int64("scale", 1, "Optane cost-model speedup factor; 0 disables cost charging")
+		out       = flag.String("out", "BENCH_dashbench.json", "JSON output path ('' skips writing)")
+		list      = flag.Bool("list", false, "list registered mixes and exit")
+		debugAddr = flag.String("debug-addr", "", "serve /metrics, /trace and /debug/pprof on this address for the duration of the run (e.g. localhost:6060)")
+		recovery  = flag.Bool("recovery", false, "after each cell, reopen its durable image and report recovery phase timings")
 	)
 	flag.Parse()
 
@@ -150,7 +177,17 @@ func main() {
 		*warmup = *ops / 10
 	}
 
-	outJSON := benchJSON{Bench: "dashbench", SchemaVersion: 4}
+	var live liveSource
+	if *debugAddr != "" {
+		srv, err := obs.Serve(*debugAddr, &live)
+		if err != nil {
+			fatal(err)
+		}
+		defer srv.Close()
+		fmt.Printf("dashbench: debug endpoint on http://%s (/metrics, /trace, /debug/pprof)\n", srv.Addr())
+	}
+
+	outJSON := benchJSON{Bench: "dashbench", SchemaVersion: 5}
 	outJSON.Config.Keyspace = *keyspace
 	outJSON.Config.Theta = *theta
 	outJSON.Config.OpsPerRun = *ops
@@ -167,14 +204,16 @@ func main() {
 			"threads", "Mops/s", "p50(µs)", "p99(µs)", "p999(µs)", "max(µs)", "PMrd B/op", "PMwr B/op", "lf", "depth", "dchit%", "fhit%", "splits")
 		for _, th := range ladder {
 			cfg := bench.Config{
-				Threads:   th,
-				Ops:       *ops,
-				WarmupOps: *warmup,
-				Keyspace:  *keyspace,
-				Theta:     *theta,
-				Mix:       mix,
-				Seed:      *seed,
-				PoolSize:  *poolSize,
+				Threads:         th,
+				Ops:             *ops,
+				WarmupOps:       *warmup,
+				Keyspace:        *keyspace,
+				Theta:           *theta,
+				Mix:             mix,
+				Seed:            *seed,
+				PoolSize:        *poolSize,
+				MeasureRecovery: *recovery,
+				OnTable:         live.attach,
 			}
 			if *scale > 0 {
 				cfg.Model = pmem.ScaledOptane(*scale)
@@ -201,6 +240,12 @@ func main() {
 				fmt.Printf("          ^ record log: %.1f MiB live (%d blobs), %.1f MiB free-listed, %.1f MiB chunks\n",
 					float64(lb)/(1<<20), res.Table.LogLiveBlobs,
 					float64(res.Table.LogFreeBytes)/(1<<20), float64(res.Table.LogChunkBytes)/(1<<20))
+			}
+			if *recovery {
+				fmt.Printf("          ^ recovery: %.2fms total (dir %.2f, segments %.2f, log %.2f, mirrors %.2f)\n",
+					float64(res.RecoveryTotalNS)/1e6, float64(res.RecoveryDirNS)/1e6,
+					float64(res.RecoverySegmentsNS)/1e6, float64(res.RecoveryLogNS)/1e6,
+					float64(res.RecoveryMirrorsNS)/1e6)
 			}
 			outJSON.Results = append(outJSON.Results, toCell(res))
 		}
@@ -313,7 +358,42 @@ func toCell(r *bench.Result) cellJSON {
 		SplitAssists:    r.Table.SplitAssists,
 		InsertOverflows: r.Counts.InsertOverflow,
 		InsertTooLarge:  r.Counts.InsertTooLarge,
+
+		EpochRetired:   r.Table.EpochRetired,
+		EpochReclaimed: r.Table.EpochReclaimed,
+		EpochPending:   r.Table.EpochPending,
+		LogFreeHits:    r.Table.LogFreeHits,
+		LogFreeMisses:  r.Table.LogFreeMisses,
+
+		RecoveryDirNS:      r.RecoveryDirNS,
+		RecoverySegmentsNS: r.RecoverySegmentsNS,
+		RecoveryLogNS:      r.RecoveryLogNS,
+		RecoveryMirrorsNS:  r.RecoveryMirrorsNS,
+		RecoveryTotalNS:    r.RecoveryTotalNS,
 	}
+}
+
+// liveSource adapts the cell currently running to obs.Source: bench.Run's
+// OnTable hook attaches each cell's table as it is created, and the debug
+// endpoint introspects whichever one is live (503 before the first cell).
+type liveSource struct {
+	tb atomic.Pointer[core.Table]
+}
+
+func (s *liveSource) attach(t *core.Table) { s.tb.Store(t) }
+
+func (s *liveSource) Metrics() *obs.Registry {
+	if t := s.tb.Load(); t != nil {
+		return t.Metrics()
+	}
+	return nil
+}
+
+func (s *liveSource) TraceSnapshot() []obs.Event {
+	if t := s.tb.Load(); t != nil {
+		return t.TraceSnapshot()
+	}
+	return nil
 }
 
 func fatal(err error) {

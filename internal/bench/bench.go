@@ -44,6 +44,16 @@ type Config struct {
 	// pays simulated Optane latencies and bandwidth limits. Preload runs
 	// uncharged: it is setup, not workload.
 	Model *pmem.CostModel
+	// MeasureRecovery, when true, snapshots the durable pool image after the
+	// measured phase and re-opens it through core.Open, filling the Result's
+	// Recovery*NS fields with the phase wall times of that recovery. The
+	// reopen runs after every measured metric is taken, on an unmodeled pool,
+	// so it perturbs nothing and reports raw engine time.
+	MeasureRecovery bool
+	// OnTable, when non-nil, is called with the live table right after it is
+	// created, before preload — the hook dashbench uses to point its debug
+	// endpoint (obs.Serve) at the cell currently running.
+	OnTable func(*core.Table)
 }
 
 // Counts tallies operation outcomes across warmup + measurement. They let
@@ -101,6 +111,14 @@ type Result struct {
 	// Table is the shape after the run.
 	Table core.TableStats
 
+	// Recovery phase wall times from re-opening the run's durable image
+	// (Config.MeasureRecovery); all zero when measurement was off.
+	RecoveryTotalNS    int64
+	RecoveryDirNS      int64
+	RecoverySegmentsNS int64
+	RecoveryLogNS      int64
+	RecoveryMirrorsNS  int64
+
 	Counts Counts
 }
 
@@ -136,6 +154,9 @@ func Run(cfg Config) (*Result, error) {
 		return nil, err
 	}
 	defer tb.Close()
+	if cfg.OnTable != nil {
+		cfg.OnTable(tb)
+	}
 
 	if vs := cfg.Mix.Var; vs != nil {
 		var kbuf, vbuf []byte
@@ -220,6 +241,10 @@ func Run(cfg Config) (*Result, error) {
 	res.Table.Splits -= tbefore.Splits
 	res.Table.SplitStallNS -= tbefore.SplitStallNS
 	res.Table.SplitAssists -= tbefore.SplitAssists
+	res.Table.EpochRetired -= tbefore.EpochRetired
+	res.Table.EpochReclaimed -= tbefore.EpochReclaimed
+	res.Table.LogFreeHits -= tbefore.LogFreeHits
+	res.Table.LogFreeMisses -= tbefore.LogFreeMisses
 	res.Counts.Preloaded = cfg.Keyspace
 	for _, w := range workers {
 		res.Hist.Merge(&w.hist)
@@ -249,6 +274,31 @@ func Run(cfg Config) (*Result, error) {
 	// counter, not by aborting the cell.
 	if want := int64(cfg.Keyspace) + res.Counts.InsertOK - res.Counts.DeleteOK; tb.Count() != want {
 		return nil, fmt.Errorf("bench: lost operations: table count %d, want %d", tb.Count(), want)
+	}
+
+	// Optional recovery measurement: reopen the durable image the run left
+	// behind and read the phase timings out of the recovered table's stats.
+	// This models a clean-shutdown restart (no crash tracking here); the
+	// crash-recovery path itself is exercised by the core tests.
+	if cfg.MeasureRecovery {
+		rp, err := pmem.OpenSnapshot(pool.Snapshot(), pmem.Options{})
+		if err != nil {
+			return nil, fmt.Errorf("bench: recovery snapshot: %w", err)
+		}
+		rt, err := core.Open(rp)
+		if err != nil {
+			return nil, fmt.Errorf("bench: recovery reopen: %w", err)
+		}
+		rs := rt.Stats()
+		rt.Close()
+		if rs.Count != tb.Count() {
+			return nil, fmt.Errorf("bench: recovery lost records: reopened count %d, want %d", rs.Count, tb.Count())
+		}
+		res.RecoveryTotalNS = rs.RecoveryTotalNS
+		res.RecoveryDirNS = rs.RecoveryDirNS
+		res.RecoverySegmentsNS = rs.RecoverySegmentsNS
+		res.RecoveryLogNS = rs.RecoveryLogNS
+		res.RecoveryMirrorsNS = rs.RecoveryMirrorsNS
 	}
 	return res, nil
 }

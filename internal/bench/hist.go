@@ -1,15 +1,20 @@
 package bench
 
-import "math/bits"
+import "dash/internal/obs"
 
 // Hist is a log-bucketed latency histogram: 16 linear sub-buckets per power
 // of two, so any recorded value lands in a bucket whose floor is within 1/16
 // (6.25%) of it — plenty for p50/p99 reporting while the whole histogram is
 // one fixed 8KiB array. Each worker goroutine records into its own Hist with
 // no synchronization, and the harness merges them after the run.
+//
+// The bucket layout (obs.BucketIndex/obs.BucketFloor) is shared with the
+// engine-side obs.Histogram, so harness-measured and engine-measured
+// distributions are directly comparable; this type exists because per-worker
+// unsynchronized recording is cheaper than the concurrent one.
 const (
-	histSub     = 16 // linear sub-buckets per octave
-	histBuckets = 1024
+	histBuckets = obs.NumBuckets
+	histSub     = obs.SubPerOctave
 )
 
 // Hist accumulates nanosecond durations. Not safe for concurrent use; use
@@ -21,31 +26,9 @@ type Hist struct {
 	max    int64
 }
 
-// bucketIndex maps a nanosecond value to its bucket.
-func bucketIndex(v int64) int {
-	if v < histSub {
-		if v < 0 {
-			return 0
-		}
-		return int(v)
-	}
-	e := bits.Len64(uint64(v)) - 1 // >= 4
-	return histSub*(e-3) + int(v>>(uint(e)-4)) - histSub
-}
-
-// bucketFloor is the smallest value mapping to bucket idx.
-func bucketFloor(idx int) int64 {
-	if idx < histSub {
-		return int64(idx)
-	}
-	e := idx/histSub + 3
-	off := idx % histSub
-	return int64(histSub+off) << (uint(e) - 4)
-}
-
 // Record adds one observation of v nanoseconds.
 func (h *Hist) Record(v int64) {
-	h.counts[bucketIndex(v)]++
+	h.counts[obs.BucketIndex(v)]++
 	h.total++
 	if v > 0 {
 		h.sum += uint64(v)
@@ -100,7 +83,7 @@ func (h *Hist) Quantile(q float64) int64 {
 	for i, c := range h.counts {
 		acc += c
 		if acc > rank {
-			return bucketFloor(i)
+			return obs.BucketFloor(i)
 		}
 	}
 	return h.max

@@ -1,22 +1,26 @@
 package bench
 
-import "testing"
+import (
+	"testing"
+
+	"dash/internal/obs"
+)
 
 func TestBucketRoundTrip(t *testing.T) {
 	for _, v := range []int64{0, 1, 15, 16, 17, 31, 32, 63, 100, 1000, 1 << 20, 1<<40 + 12345} {
-		idx := bucketIndex(v)
+		idx := obs.BucketIndex(v)
 		if idx < 0 || idx >= histBuckets {
-			t.Fatalf("bucketIndex(%d) = %d out of range", v, idx)
+			t.Fatalf("obs.BucketIndex(%d) = %d out of range", v, idx)
 		}
-		floor := bucketFloor(idx)
+		floor := obs.BucketFloor(idx)
 		if floor > v {
-			t.Errorf("bucketFloor(%d) = %d > value %d", idx, floor, v)
+			t.Errorf("obs.BucketFloor(%d) = %d > value %d", idx, floor, v)
 		}
 		// The floor must be within one sub-bucket (1/16) of the value.
 		if v >= histSub && float64(v-floor) > float64(v)/histSub {
 			t.Errorf("value %d floor %d off by more than 1/16", v, floor)
 		}
-		if idx > 0 && bucketFloor(idx) <= bucketFloor(idx-1) {
+		if idx > 0 && obs.BucketFloor(idx) <= obs.BucketFloor(idx-1) {
 			t.Errorf("bucket floors not increasing at %d", idx)
 		}
 	}

@@ -39,6 +39,13 @@
 //	stats.go     — lock-free TableStats snapshot (shape, load factor, stash
 //	               pressure, directory-cache hit rates) for benchmarks and
 //	               monitoring.
+//	obs.go       — the observability wiring: every table owns an
+//	               obs.Registry naming its meters (dircache.*, segfilter.*,
+//	               split.*, epoch.*, varlog.*, recovery.*, pmem.*) and an
+//	               always-on obs.Flight recording op completions with their
+//	               serving path, split lifecycle transitions, heals, epoch
+//	               advances and recovery phases; Metrics()/TraceSnapshot()
+//	               expose both, and obs.Serve puts them on HTTP.
 //
 // Everything persistent is addressed by pmem.Pool offsets, so the whole
 // structure survives pmem's simulated power loss (Pool.Crash) and reopens

@@ -2,9 +2,9 @@ package core
 
 import (
 	"sync/atomic"
-	"unsafe"
 
 	"dash/internal/hashfn"
+	"dash/internal/obs"
 	"dash/internal/pmem"
 )
 
@@ -49,48 +49,16 @@ type dirCache struct {
 	// hits counts routes that served their operation (a seqlock-stable
 	// positive read, or a route validateRoute confirmed against PM);
 	// misses counts stale routes that forced a repair + retry. Both are
-	// sharded (routeCounter) so the every-operation increment cannot make
-	// one counter cacheline a table-wide hotspot at real thread counts.
-	// rebuilds counts full O(directory) reconstructions (Create, Open, and
-	// the belt-and-braces depth-mismatch path of cacheRepair) — rare, so a
-	// single atomic is fine.
-	hits     routeCounter
-	misses   routeCounter
-	rebuilds atomic.Uint64
-}
-
-// routeCounter is a cacheline-sharded event counter, the same pattern as
-// pmem.Stats: increments spread over independent lines and reads sum the
-// shards. The shard is keyed by the calling goroutine — the address of a
-// stack local, pages apart for distinct goroutine stacks — rather than by
-// the operation's key hash: hash keying would re-converge every access to
-// a hot key onto one line under a skewed (Zipfian) workload, recreating
-// exactly the cross-thread hotspot the sharding exists to remove. A
-// goroutine's shard is stable apart from stack moves, which only
-// redistribute, never contend. The total is exact (per-shard atomics,
-// monotone).
-const routeShards = 64
-
-type routeCounter struct {
-	shards [routeShards]struct {
-		n atomic.Uint64
-		_ [56]byte // pad to a cacheline
-	}
-}
-
-func (c *routeCounter) add() {
-	var probe byte
-	s := uint64(uintptr(unsafe.Pointer(&probe)))
-	// Goroutine stacks are kibibytes apart; fold a few page-granular bits.
-	c.shards[(s>>10^s>>16)%routeShards].n.Add(1)
-}
-
-func (c *routeCounter) total() uint64 {
-	var t uint64
-	for i := range c.shards {
-		t += c.shards[i].n.Load()
-	}
-	return t
+	// goroutine-sharded obs.Counters so the every-operation increment
+	// cannot make one counter cacheline a table-wide hotspot at real
+	// thread counts. rebuilds counts full O(directory) reconstructions
+	// (Create, Open, and the belt-and-braces depth-mismatch path of
+	// cacheRepair) — rare, but registered the same way for uniformity.
+	// All three live in the table's obs.Registry (initObs) under
+	// dircache.* names.
+	hits     *obs.Counter
+	misses   *obs.Counter
+	rebuilds *obs.Counter
 }
 
 type dirView struct {
@@ -142,7 +110,7 @@ func (t *Table) cacheRebuild() {
 		v.entries[i].Store(packEntry(seg, l))
 	}
 	t.cache.view.Store(v)
-	t.cache.rebuilds.Add(1)
+	t.cache.rebuilds.Inc()
 }
 
 // cacheRepair refreshes the key's route from the PM directory after a failed
@@ -155,6 +123,7 @@ func (t *Table) cacheRebuild() {
 func (t *Table) cacheRepair(parts hashfn.Parts) {
 	t.dirMu.Lock()
 	defer t.dirMu.Unlock()
+	t.fr.Record(obs.EvRouteRepair, obs.TagNone, parts.Hash, 0)
 	p := t.pool
 	v := t.cache.view.Load()
 	dir := pmem.Addr(p.LoadU64(rootAddr.Add(rootOffDir)))

@@ -69,7 +69,7 @@ func TestDirCacheCoherentAfterGrowth(t *testing.T) {
 	next := uint64(0)
 	growTo(t, tbl, 5, &next, acked)
 	verifyCacheCoherent(t, tbl)
-	if m := tbl.cache.misses.total(); m != 0 {
+	if m := tbl.cache.misses.Total(); m != 0 {
 		t.Errorf("single-threaded growth produced %d cache misses, want 0", m)
 	}
 	for k, v := range acked {
@@ -102,7 +102,7 @@ func TestDirCacheStaleViewAllOps(t *testing.T) {
 			t.Fatalf("stale-view Get(%d) = %d,%v want %d,true", k, got, ok, v)
 		}
 	}
-	if tbl.cache.misses.total() == 0 {
+	if tbl.cache.misses.Total() == 0 {
 		t.Error("reads over a two-doublings-stale view produced no cache miss")
 	}
 	verifyCacheCoherent(t, tbl) // the first miss must have rebuilt it
@@ -173,11 +173,11 @@ func TestDirCachePoisonedEntry(t *testing.T) {
 		t.Fatal("table has only one segment; cannot poison a route")
 	}
 
-	missesBefore := tbl.cache.misses.total()
+	missesBefore := tbl.cache.misses.Total()
 	if got, ok := tbl.Get(key); !ok || got != val {
 		t.Fatalf("poisoned-route Get(%d) = %d,%v want %d,true", key, got, ok, val)
 	}
-	if tbl.cache.misses.total() == missesBefore {
+	if tbl.cache.misses.Total() == missesBefore {
 		t.Error("poisoned route produced no cache miss")
 	}
 	if seg, _ := unpackEntry(v.entries[idx].Load()); seg != right {
@@ -211,7 +211,7 @@ func TestDirCacheRebuildAfterCrash(t *testing.T) {
 		t.Fatalf("Open after crash: %v", err)
 	}
 	defer tbl2.Close()
-	if r := tbl2.cache.rebuilds.Load(); r != 1 {
+	if r := tbl2.cache.rebuilds.Total(); r != 1 {
 		t.Errorf("open performed %d cache rebuilds, want 1", r)
 	}
 	verifyCacheCoherent(t, tbl2)

@@ -1,0 +1,159 @@
+package core
+
+import (
+	"errors"
+	"sync/atomic"
+
+	"dash/internal/obs"
+)
+
+// Observability wiring: every Table owns an obs.Registry (named meters) and
+// an obs.Flight (event recorder), both always on — the hot-path cost is a
+// goroutine-sharded counter add and, per operation, one ring-buffer event.
+// initObs is the single place a meter name exists, so the registry is the
+// authoritative list of what the engine measures; Stats() and the dashbench
+// schema read these same counters rather than keeping parallel state.
+
+// meters holds the obs handles the table's code paths record into (the
+// layer-owned counters live on dirCache/segFilters/epoch.Manager/VarLog
+// themselves; these are the table-level ones).
+type meters struct {
+	// Split phase durations: migrate (concurrent copy phase) and the
+	// publish stall (all bucket locks held, the tail-latency window).
+	splitMigrateNS      *obs.Histogram
+	splitPublishStallNS *obs.Histogram
+
+	// Recovery phase wall times, indexed phaseDir..phaseMirrors; zero on a
+	// freshly created table. One-shot gauges, not counters: Open stores
+	// them once.
+	recoveryNS      [4]atomic.Int64
+	recoveryTotalNS atomic.Int64
+}
+
+const (
+	phaseDir = iota
+	phaseSegments
+	phaseLog
+	phaseMirrors
+)
+
+// initObs builds the registry and flight recorder and hands every layer its
+// counters. Called by Create/Open after the pool, epoch manager and record
+// log exist but before any operation (or recovery) runs.
+func (t *Table) initObs() {
+	reg := obs.NewRegistry()
+	t.reg = reg
+	t.fr = obs.NewFlight()
+
+	// Directory-cache routing.
+	t.cache.hits = reg.Counter("dircache.hits")
+	t.cache.misses = reg.Counter("dircache.misses")
+	t.cache.rebuilds = reg.Counter("dircache.rebuilds")
+
+	// Per-segment filter mirrors.
+	t.filters.hits = reg.Counter("segfilter.hits")
+	t.filters.misses = reg.Counter("segfilter.misses")
+	t.filters.bypass = reg.Counter("segfilter.bypass")
+	t.filters.checks = reg.Counter("segfilter.checks")
+	t.filters.heals = reg.Counter("segfilter.heals")
+	reg.Gauge("segfilter.bytes", func() int64 { return int64(t.filters.bytes.Load()) })
+
+	// Per-path read outcome, the §5-style breakdown: which tier served a
+	// read. Derived views over the tier counters — the per-op resolution
+	// lives in the flight recorder's EvGet tags.
+	reg.Gauge("read.path.mirror_served", func() int64 { return int64(t.filters.hits.Total()) })
+	reg.Gauge("read.path.pm_fallback", func() int64 {
+		return int64(t.filters.misses.Total() + t.filters.bypass.Total())
+	})
+	reg.Gauge("read.path.heal", func() int64 { return int64(t.filters.heals.Total()) })
+	reg.Gauge("read.path.dircache_miss", func() int64 { return int64(t.cache.misses.Total()) })
+
+	// Splits: lifecycle counters stay on the Table (splitAssists is
+	// load-bearing for the migrator's duplicate gate), exposed as gauges;
+	// the phase durations are histograms.
+	reg.Gauge("split.completed", func() int64 { return int64(t.splits.Load()) })
+	reg.Gauge("split.stall_ns", func() int64 { return t.splitStallNS.Load() })
+	reg.Gauge("split.assists", func() int64 { return int64(t.splitAssists.Load()) })
+	t.met.splitMigrateNS = reg.Histogram("split.migrate_ns")
+	t.met.splitPublishStallNS = reg.Histogram("split.publish_stall_ns")
+
+	// Epoch reclamation: retire→free lag is the latency cost of a stalled
+	// reader; pending is the space cost.
+	t.em.Retired = reg.Counter("epoch.retired")
+	t.em.Reclaimed = reg.Counter("epoch.reclaimed")
+	t.em.ReclaimLagNS = reg.Histogram("epoch.reclaim_lag_ns")
+	t.em.Trace = t.fr
+	reg.Gauge("epoch.pending", func() int64 { return int64(t.em.Pending()) })
+
+	// Record log: free-list hit rate plus the space accounting.
+	t.vlog.FreeHits = reg.Counter("varlog.free_hits")
+	t.vlog.FreeMisses = reg.Counter("varlog.free_misses")
+	reg.Gauge("varlog.live_bytes", func() int64 { return int64(t.vlog.Stats().LiveBytes) })
+	reg.Gauge("varlog.free_bytes", func() int64 { return int64(t.vlog.Stats().FreeBytes) })
+
+	// Recovery phase wall times (Open only; zero after Create).
+	reg.Gauge("recovery.directory_ns", func() int64 { return t.met.recoveryNS[phaseDir].Load() })
+	reg.Gauge("recovery.segments_ns", func() int64 { return t.met.recoveryNS[phaseSegments].Load() })
+	reg.Gauge("recovery.log_ns", func() int64 { return t.met.recoveryNS[phaseLog].Load() })
+	reg.Gauge("recovery.mirrors_ns", func() int64 { return t.met.recoveryNS[phaseMirrors].Load() })
+	reg.Gauge("recovery.total_ns", func() int64 { return t.met.recoveryTotalNS.Load() })
+
+	// Table shape.
+	reg.Gauge("table.count", func() int64 { return t.count.Load() })
+	reg.Gauge("table.global_depth", func() int64 { return int64(t.GlobalDepth()) })
+
+	// PM traffic, alongside the engine meters.
+	t.pool.RegisterMetrics(reg)
+}
+
+// Metrics returns the table's metrics registry — the one source of truth
+// Stats(), the bench harness and the live endpoint (obs.Serve) all read.
+func (t *Table) Metrics() *obs.Registry { return t.reg }
+
+// TraceSnapshot dumps the flight recorder: every retained event (op
+// completions, split lifecycle transitions, heals, epoch advances, recovery
+// phases) merged across goroutine shards into one time-ordered log. Safe to
+// call concurrently with live traffic; events overwritten mid-read are
+// dropped, never torn.
+func (t *Table) TraceSnapshot() []obs.Event { return t.fr.Snapshot() }
+
+// recordRecoveryPhase stores one phase duration and logs it to the control
+// lane, so a trace of a reopened table starts with its recovery timeline.
+func (t *Table) recordRecoveryPhase(phase int, tag uint8, start, end int64) {
+	t.met.recoveryNS[phase].Store(end - start)
+	t.fr.RecordAt(start, obs.EvRecovery, tag, 0, uint64(end-start))
+}
+
+// insOutcome maps an insert error to its flight-recorder tag.
+func insOutcome(err error) uint8 {
+	switch {
+	case err == nil:
+		return obs.OutcomeOK
+	case errors.Is(err, ErrKeyExists):
+		return obs.OutcomeExists
+	case errors.Is(err, ErrSegmentOverflow):
+		return obs.OutcomeOverflow
+	case errors.Is(err, ErrRecordTooLarge):
+		return obs.OutcomeTooLarge
+	}
+	return obs.OutcomeErr
+}
+
+// updOutcome maps an update result to its flight-recorder tag.
+func updOutcome(found bool, err error) uint8 {
+	if err != nil {
+		return insOutcome(err)
+	}
+	if !found {
+		return obs.OutcomeMissing
+	}
+	return obs.OutcomeOK
+}
+
+// delOutcome maps a delete result to its flight-recorder tag.
+func delOutcome(found bool) uint8 {
+	if found {
+		return obs.OutcomeOK
+	}
+	return obs.OutcomeMissing
+}

@@ -101,6 +101,7 @@ type probeKey struct {
 	parts hashfn.Parts
 	kb    []byte // canonical key bytes; nil for the uint64 fast path
 	u     uint64 // the key when kb == nil
+	path  uint8  // obs path tag: which tier served the probe (searchOpt)
 }
 
 func (t *Table) probeU64(key uint64) probeKey {

@@ -7,6 +7,7 @@ import (
 	"unsafe"
 
 	"dash/internal/hashfn"
+	"dash/internal/obs"
 	"dash/internal/pmem"
 )
 
@@ -107,18 +108,18 @@ func mirClaims(mir *segMirror, parts hashfn.Parts) bool {
 }
 
 // segFilters is the table's mirror registry plus its observability
-// counters. Hit/miss/bypass/check counters are sharded (routeCounter) like
-// the dirCache's, so the every-read increments cannot become a cross-thread
-// hotspot; heals are rare and use a single atomic.
+// counters. All counters are goroutine-sharded obs.Counters registered in
+// the table's obs.Registry (initObs) under segfilter.* names, so the
+// every-read increments cannot become a cross-thread hotspot.
 type segFilters struct {
 	m     sync.Map      // pmem.Addr (segment) → *segMirror
 	bytes atomic.Uint64 // DRAM held by installed mirrors
 
-	hits   routeCounter // reads served by a mirror (positive or validated miss)
-	misses routeCounter // mirror probes that fell back to the PM path
-	bypass routeCounter // reads that found no mirror installed (expected 0)
-	checks routeCounter // sampled mirror-vs-PM cross-checks run
-	heals  atomic.Uint64
+	hits   *obs.Counter // reads served by a mirror (positive or validated miss)
+	misses *obs.Counter // mirror probes that fell back to the PM path
+	bypass *obs.Counter // reads that found no mirror installed (expected 0)
+	checks *obs.Counter // sampled mirror-vs-PM cross-checks run
+	heals  *obs.Counter // mirrors rebuilt in place after a failed cross-check
 }
 
 // mirror returns seg's installed mirror, or nil (the PM fallback then
@@ -214,7 +215,8 @@ func (t *Table) mirrorRebuildAll() {
 // them excludes it.
 func (t *Table) mirrorRepair(seg pmem.Addr, mir *segMirror) {
 	p := t.pool
-	t.filters.heals.Add(1)
+	t.filters.heals.Inc()
+	t.fr.Record(obs.EvMirrorHeal, obs.TagNone, uint64(seg), 0)
 	for bi := 0; bi < totalBuckets; bi++ {
 		ba := segBucket(seg, bi)
 		lockBucket(p, mir, ba, bi)
@@ -310,7 +312,7 @@ func (t *Table) mirrorMaybeCheck(seg pmem.Addr, mir *segMirror, pk *probeKey) {
 	if (pk.parts.Hash>>20)&t.mirrorSampleMask != 0 {
 		return
 	}
-	t.filters.checks.add()
+	t.filters.checks.Inc()
 	if !t.mirrorBucketMatchesPM(seg, mir, int(pk.parts.BucketIndex(bucketBits))) {
 		t.mirrorRepair(seg, mir)
 	}

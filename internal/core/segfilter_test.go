@@ -139,12 +139,12 @@ func TestMirrorPoisonSelfHeal(t *testing.T) {
 	mir.word(b, mirBkFPLo).Store(0)
 	mir.word(b, mirBkFPHi).Store(0)
 
-	healsBefore := tbl.filters.heals.Load()
+	healsBefore := tbl.filters.heals.Total()
 	// First read may be served the poisoned miss, but its sampled check
 	// compares the home bucket against PM, sees the divergence and repairs
 	// the whole segment's mirror in place.
 	tbl.Get(key)
-	if tbl.filters.heals.Load() == healsBefore {
+	if tbl.filters.heals.Total() == healsBefore {
 		t.Fatal("sampled cross-check did not trigger a heal")
 	}
 	if v, ok := tbl.Get(key); !ok || v != val {

@@ -91,6 +91,28 @@ type TableStats struct {
 	// split's unpublished sibling (the writer-side cost of not freezing the
 	// segment during migration).
 	SplitAssists uint64
+
+	// Epoch reclamation accounting: objects handed to Retire, objects
+	// actually freed, and objects still pending. Cumulative like the other
+	// counters; the retire→free lag distribution lives in the registry
+	// ("epoch.reclaim_lag_ns").
+	EpochRetired   uint64
+	EpochReclaimed uint64
+	EpochPending   uint64
+
+	// Record-log free-list outcome counts: blob allocations served by
+	// exact-capacity reuse vs. fresh bump allocations.
+	LogFreeHits   uint64
+	LogFreeMisses uint64
+
+	// Recovery phase wall times from the Open that produced this table
+	// (zero after Create): directory rebuild, segment reconcile, record-log
+	// sweep, and the DRAM rebuild of the directory cache + filter mirrors.
+	RecoveryDirNS      int64
+	RecoverySegmentsNS int64
+	RecoveryLogNS      int64
+	RecoveryMirrorsNS  int64
+	RecoveryTotalNS    int64
 }
 
 // Stats walks the DRAM directory cache for the segment set — observing the
@@ -123,8 +145,8 @@ func (t *Table) Stats() TableStats {
 		}
 	}
 
-	hits, misses := t.cache.hits.total(), t.cache.misses.total()
-	fhits, fmisses, fbypass := t.filters.hits.total(), t.filters.misses.total(), t.filters.bypass.total()
+	hits, misses := t.cache.hits.Total(), t.cache.misses.Total()
+	fhits, fmisses, fbypass := t.filters.hits.Total(), t.filters.misses.Total(), t.filters.bypass.Total()
 	lg := t.vlog.Stats()
 	st := TableStats{
 		Count:            t.count.Load(),
@@ -136,15 +158,15 @@ func (t *Table) Stats() TableStats {
 		DirCacheHits:     hits,
 		DirCacheMisses:   misses,
 		DirCacheHitRate:  1,
-		DirCacheRebuilds: t.cache.rebuilds.Load(),
+		DirCacheRebuilds: t.cache.rebuilds.Total(),
 		DirCacheBytes:    8 * uint64(len(v.entries)),
 		SegFilterBytes:   t.filters.bytes.Load(),
 		SegFilterHits:    fhits,
 		SegFilterMisses:  fmisses,
 		SegFilterBypass:  fbypass,
 		SegFilterHitRate: 1,
-		SegFilterChecks:  t.filters.checks.total(),
-		SegFilterHeals:   t.filters.heals.Load(),
+		SegFilterChecks:  t.filters.checks.Total(),
+		SegFilterHeals:   t.filters.heals.Total(),
 		LogChunkBytes:    lg.ChunkBytes,
 		LogLiveBytes:     lg.LiveBytes,
 		LogLiveBlobs:     lg.LiveBlobs,
@@ -152,6 +174,18 @@ func (t *Table) Stats() TableStats {
 		Splits:           t.splits.Load(),
 		SplitStallNS:     t.splitStallNS.Load(),
 		SplitAssists:     t.splitAssists.Load(),
+
+		EpochRetired:   t.em.Retired.Total(),
+		EpochReclaimed: t.em.Reclaimed.Total(),
+		EpochPending:   t.em.Pending(),
+		LogFreeHits:    t.vlog.FreeHits.Total(),
+		LogFreeMisses:  t.vlog.FreeMisses.Total(),
+
+		RecoveryDirNS:      t.met.recoveryNS[phaseDir].Load(),
+		RecoverySegmentsNS: t.met.recoveryNS[phaseSegments].Load(),
+		RecoveryLogNS:      t.met.recoveryNS[phaseLog].Load(),
+		RecoveryMirrorsNS:  t.met.recoveryNS[phaseMirrors].Load(),
+		RecoveryTotalNS:    t.met.recoveryTotalNS.Load(),
 	}
 	if hits+misses > 0 {
 		st.DirCacheHitRate = float64(hits) / float64(hits+misses)

@@ -13,6 +13,7 @@ import (
 
 	"dash/internal/epoch"
 	"dash/internal/hashfn"
+	"dash/internal/obs"
 	"dash/internal/pmem"
 )
 
@@ -143,6 +144,13 @@ type Table struct {
 	splitStallNS atomic.Int64
 	splitAssists atomic.Uint64
 
+	// Observability (obs.go): reg names every meter, fr is the always-on
+	// flight recorder, met the table-level histogram/phase handles. Built
+	// by initObs before any operation runs.
+	reg *obs.Registry
+	fr  *obs.Flight
+	met meters
+
 	// Test hooks fired inside split; used by crash-consistency tests to
 	// simulate power loss at the protocol's interesting points.
 	hookAfterMarker     func()                          // split marker persisted, no records migrated
@@ -185,6 +193,7 @@ func Create(pool *pmem.Pool, opt Options) (*Table, error) {
 	p.WriteU64(rootAddr.Add(rootOffVarLog), 0) // record log grows lazily
 	p.Persist(rootAddr, pmem.CachelineSize)
 	t.vlog = pmem.NewVarLog(p, rootAddr.Add(rootOffVarLog), 0, t.alloc)
+	t.initObs()
 
 	nseg := 1 << opt.InitialDepth
 	segs := make([]pmem.Addr, nseg)
@@ -230,6 +239,7 @@ func Open(pool *pmem.Pool) (*Table, error) {
 		mirrorSampleMask: mirrorSamplePeriod - 1,
 	}
 	t.vlog = pmem.NewVarLog(p, rootAddr.Add(rootOffVarLog), 0, t.alloc)
+	t.initObs()
 	if err := t.recover(); err != nil {
 		return nil, err
 	}
@@ -334,15 +344,19 @@ func (t *Table) validateRoute(parts hashfn.Parts, seg pmem.Addr) bool {
 func (t *Table) Insert(key, value uint64) error {
 	g := t.em.Enter()
 	defer g.Exit()
+	start := obs.Now()
+	pk := t.probeU64(key)
+	var err error
 	if key&recIndirectBit != 0 {
 		var kb, vb [8]byte
 		binary.LittleEndian.PutUint64(kb[:], key)
 		binary.LittleEndian.PutUint64(vb[:], value)
-		pk := t.probeU64(key)
-		return t.insertIndirect(&pk, kb[:], vb[:])
+		err = t.insertIndirect(&pk, kb[:], vb[:])
+	} else {
+		err = t.insertKV(&pk, pmem.KV{Key: key, Value: value})
 	}
-	pk := t.probeU64(key)
-	return t.insertKV(&pk, pmem.KV{Key: key, Value: value})
+	t.fr.RecordAt(start, obs.EvInsert, insOutcome(err), pk.parts.Hash, uint64(obs.Now()-start))
+	return err
 }
 
 // InsertB adds a variable-length record. Keys must be non-empty; keys and
@@ -356,13 +370,19 @@ func (t *Table) InsertB(key, value []byte) error {
 	if len(key) == 0 || len(key) > pmem.MaxVarKeyLen || len(value) > pmem.MaxVarValueLen {
 		return ErrRecordTooLarge
 	}
+	start := obs.Now()
 	pk := t.probeBytes(key)
-	if len(key) == 8 && len(value) == 8 {
-		if k := binary.LittleEndian.Uint64(key); k&recIndirectBit == 0 {
-			return t.insertKV(&pk, pmem.KV{Key: k, Value: binary.LittleEndian.Uint64(value)})
-		}
+	var err error
+	if len(key) == 8 && len(value) == 8 && binary.LittleEndian.Uint64(key)&recIndirectBit == 0 {
+		err = t.insertKV(&pk, pmem.KV{
+			Key:   binary.LittleEndian.Uint64(key),
+			Value: binary.LittleEndian.Uint64(value),
+		})
+	} else {
+		err = t.insertIndirect(&pk, key, value)
 	}
-	return t.insertIndirect(&pk, key, value)
+	t.fr.RecordAt(start, obs.EvInsert, insOutcome(err), pk.parts.Hash, uint64(obs.Now()-start))
+	return err
 }
 
 // insertIndirect writes the blob (with the crash hooks between its persist,
@@ -423,11 +443,11 @@ func (t *Table) insertKV(pk *probeKey, kv pmem.KV) error {
 		lockPair(p, mir, seg, b, b2)
 		if !t.validateRoute(parts, seg) {
 			unlockPair(p, mir, seg, b, b2)
-			t.cache.misses.add()
+			t.cache.misses.Inc()
 			t.cacheRepair(parts)
 			continue
 		}
-		t.cache.hits.add()
+		t.cache.hits.Inc()
 		if _, found := segFindLocked(p, t.vlog, seg, pk); found {
 			unlockPair(p, mir, seg, b, b2)
 			return ErrKeyExists
@@ -467,8 +487,10 @@ func (t *Table) insertKV(pk *probeKey, kv pmem.KV) error {
 func (t *Table) Get(key uint64) (uint64, bool) {
 	g := t.em.Enter()
 	defer g.Exit()
+	start := obs.Now()
 	pk := t.probeU64(key)
 	kv, blobHot, found := t.searchOpt(&pk)
+	t.fr.RecordAt(start, obs.EvGet, pk.path, pk.parts.Hash, uint64(obs.Now()-start))
 	if !found {
 		return 0, false
 	}
@@ -486,8 +508,10 @@ func (t *Table) GetB(key []byte) ([]byte, bool) {
 func (t *Table) GetBAppend(dst, key []byte) ([]byte, bool) {
 	g := t.em.Enter()
 	defer g.Exit()
+	start := obs.Now()
 	pk := t.probeBytes(key)
 	kv, blobHot, found := t.searchOpt(&pk)
+	t.fr.RecordAt(start, obs.EvGet, pk.path, pk.parts.Hash, uint64(obs.Now()-start))
 	if !found {
 		return dst, false
 	}
@@ -525,35 +549,38 @@ func (t *Table) searchOpt(pk *probeKey) (pmem.KV, bool, bool) {
 		mir := t.mirror(seg)
 		if mir == nil {
 			// No mirror installed (unexpected steady-state): PM path.
-			t.filters.bypass.add()
+			t.filters.bypass.Inc()
+			pk.path = obs.PathPMFallback
 			if kv, found := segSearchOpt(p, t.vlog, seg, pk); found {
-				t.cache.hits.add()
+				t.cache.hits.Inc()
 				return kv, false, true
 			}
 			if t.validateRoute(pk.parts, seg) {
-				t.cache.hits.add()
+				t.cache.hits.Inc()
 				return pmem.KV{}, false, false
 			}
-			t.cache.misses.add()
+			t.cache.misses.Inc()
 			t.cacheRepair(pk.parts)
 			continue
 		}
 		kv, blobHot, found := mirSegSearch(t.vlog, mir, pk)
 		if found {
-			t.cache.hits.add()
-			t.filters.hits.add()
+			t.cache.hits.Inc()
+			t.filters.hits.Inc()
+			pk.path = obs.PathMirrorHit
 			t.mirrorMaybeCheck(seg, mir, pk)
 			return kv, blobHot, true
 		}
 		if mirClaims(mir, pk.parts) {
 			if seg2, _ := t.cache.route(pk.parts); seg2 == seg {
-				t.cache.hits.add()
-				t.filters.hits.add()
+				t.cache.hits.Inc()
+				t.filters.hits.Inc()
+				pk.path = obs.PathMirrorNeg
 				t.mirrorMaybeCheck(seg, mir, pk)
 				return pmem.KV{}, false, false
 			}
 		}
-		t.filters.misses.add()
+		t.filters.misses.Inc()
 		if t.validateRoute(pk.parts, seg) {
 			// PM vouches for the route the DRAM state would not: the
 			// mirror (claim or directory cache entry) is out of sync with
@@ -562,7 +589,7 @@ func (t *Table) searchOpt(pk *probeKey) (pmem.KV, bool, bool) {
 			t.mirrorRepair(seg, mir)
 			continue
 		}
-		t.cache.misses.add()
+		t.cache.misses.Inc()
 		t.cacheRepair(pk.parts)
 	}
 }
@@ -571,16 +598,22 @@ func (t *Table) searchOpt(pk *probeKey) (pmem.KV, bool, bool) {
 func (t *Table) Delete(key uint64) bool {
 	g := t.em.Enter()
 	defer g.Exit()
+	start := obs.Now()
 	pk := t.probeU64(key)
-	return t.deleteByProbe(&pk)
+	found := t.deleteByProbe(&pk)
+	t.fr.RecordAt(start, obs.EvDelete, delOutcome(found), pk.parts.Hash, uint64(obs.Now()-start))
+	return found
 }
 
 // DeleteB removes a variable-length key, reporting whether it was present.
 func (t *Table) DeleteB(key []byte) bool {
 	g := t.em.Enter()
 	defer g.Exit()
+	start := obs.Now()
 	pk := t.probeBytes(key)
-	return t.deleteByProbe(&pk)
+	found := t.deleteByProbe(&pk)
+	t.fr.RecordAt(start, obs.EvDelete, delOutcome(found), pk.parts.Hash, uint64(obs.Now()-start))
+	return found
 }
 
 func (t *Table) deleteByProbe(pk *probeKey) bool {
@@ -594,11 +627,11 @@ func (t *Table) deleteByProbe(pk *probeKey) bool {
 		lockPair(p, mir, seg, b, b2)
 		if !t.validateRoute(parts, seg) {
 			unlockPair(p, mir, seg, b, b2)
-			t.cache.misses.add()
+			t.cache.misses.Inc()
 			t.cacheRepair(parts)
 			continue
 		}
-		t.cache.hits.add()
+		t.cache.hits.Inc()
 		loc, found := segFindLocked(p, t.vlog, seg, pk)
 		if found {
 			w0 := p.QuietLoadU64(recordAddr(segBucket(seg, loc.bucket), loc.slot))
@@ -635,8 +668,11 @@ func (t *Table) retireBlob(blob pmem.Addr) {
 func (t *Table) Update(key, value uint64) (bool, error) {
 	g := t.em.Enter()
 	defer g.Exit()
+	start := obs.Now()
 	pk := t.probeU64(key)
-	return t.updateByProbe(&pk, nil, value)
+	found, err := t.updateByProbe(&pk, nil, value)
+	t.fr.RecordAt(start, obs.EvUpdate, updOutcome(found, err), pk.parts.Hash, uint64(obs.Now()-start))
+	return found, err
 }
 
 // UpdateB overwrites the value of an existing variable-length key. The
@@ -650,8 +686,11 @@ func (t *Table) UpdateB(key, value []byte) (bool, error) {
 	if len(key) == 0 || len(key) > pmem.MaxVarKeyLen || len(value) > pmem.MaxVarValueLen {
 		return false, ErrRecordTooLarge
 	}
+	start := obs.Now()
 	pk := t.probeBytes(key)
-	return t.updateByProbe(&pk, value, 0)
+	found, err := t.updateByProbe(&pk, value, 0)
+	t.fr.RecordAt(start, obs.EvUpdate, updOutcome(found, err), pk.parts.Hash, uint64(obs.Now()-start))
+	return found, err
 }
 
 // updateByProbe implements both update flavors: vb == nil is the uint64
@@ -693,11 +732,11 @@ func (t *Table) updateByProbe(pk *probeKey, vb []byte, vu uint64) (bool, error) 
 		lockPair(p, mir, seg, b, b2)
 		if !t.validateRoute(parts, seg) {
 			unlockPair(p, mir, seg, b, b2)
-			t.cache.misses.add()
+			t.cache.misses.Inc()
 			t.cacheRepair(parts)
 			continue
 		}
-		t.cache.hits.add()
+		t.cache.hits.Inc()
 		loc, found := segFindLocked(p, t.vlog, seg, pk)
 		if !found {
 			unlockPair(p, mir, seg, b, b2)
@@ -827,6 +866,7 @@ func (t *Table) updateByProbe(pk *probeKey, vb []byte, vu uint64) (bool, error) 
 // metadata and sweeps duplicates exactly as under the old protocol.
 func (t *Table) split(parts hashfn.Parts, oldSeg pmem.Addr) error {
 	p := t.pool
+	t.fr.Record(obs.EvSplitTrigger, obs.TagNone, uint64(oldSeg), 0)
 	spa := oldSeg.Add(segOffSplit)
 	if !p.CompareAndSwapU64(spa, 0, splitStateInFlight) {
 		// Another goroutine owns this segment's split. Wait it out (no
@@ -848,12 +888,14 @@ func (t *Table) split(parts hashfn.Parts, oldSeg pmem.Addr) error {
 		p.StoreU64(spa, 0)
 		return nil
 	}
+	t.fr.Record(obs.EvSplitCAS, obs.TagNone, uint64(oldSeg), 0)
 	l := segDepth(p, oldSeg)
 	pat := segPattern(p, oldSeg)
 
 	newSeg, err := t.alloc(segmentSize)
 	if err != nil {
 		p.StoreU64(spa, 0)
+		t.fr.Record(obs.EvSplitRollback, obs.TagNone, uint64(oldSeg), 0)
 		return err
 	}
 	segInit(p, newSeg, l+1, pat<<1|1)
@@ -873,7 +915,9 @@ func (t *Table) split(parts hashfn.Parts, oldSeg pmem.Addr) error {
 		t.hookAfterMarker()
 	}
 
+	mstart := obs.Now()
 	sc, ok := t.splitMigrate(oldSeg, newSeg, l, a0)
+	t.met.splitMigrateNS.Record(obs.Now() - mstart)
 	defer splitScanPool.Put(sc)
 	if !ok {
 		// Pathological one-sided overflow: roll back by clearing the
@@ -885,8 +929,10 @@ func (t *Table) split(parts hashfn.Parts, oldSeg pmem.Addr) error {
 		p.StoreU64(spa, 0)
 		p.Persist(spa, 8)
 		t.mirrorDrop(newSeg)
+		t.fr.Record(obs.EvSplitRollback, obs.TagNone, uint64(oldSeg), uint64(newSeg))
 		return ErrSegmentOverflow
 	}
+	t.fr.Record(obs.EvSplitMigrate, obs.TagNone, uint64(oldSeg), uint64(newSeg))
 	return t.splitPublish(oldSeg, newSeg, l, pat, sc)
 }
 
@@ -1132,7 +1178,9 @@ func (t *Table) splitPublish(oldSeg, newSeg pmem.Addr, l uint8, pat uint64, sc *
 		for i := 0; i < totalBuckets; i++ {
 			unlockBucket(p, oldMir, segBucket(oldSeg, i), i)
 		}
-		t.splitStallNS.Add(time.Since(begin).Nanoseconds())
+		stall := time.Since(begin).Nanoseconds()
+		t.splitStallNS.Add(stall)
+		t.met.splitPublishStallNS.Record(stall)
 	}()
 
 	// All writers are excluded now (assists run under bucket locks), so the
@@ -1156,6 +1204,7 @@ func (t *Table) splitPublish(oldSeg, newSeg pmem.Addr, l uint8, pat uint64, sc *
 			p.StoreU64(oldSeg.Add(segOffSplit), 0)
 			p.Persist(oldSeg.Add(segOffSplit), 8)
 			t.mirrorDrop(newSeg)
+			t.fr.Record(obs.EvSplitRollback, obs.TagNone, uint64(oldSeg), uint64(newSeg))
 			return err
 		}
 		dirInitDoubled(p, newDir, dir)
@@ -1166,6 +1215,7 @@ func (t *Table) splitPublish(oldSeg, newSeg pmem.Addr, l uint8, pat uint64, sc *
 		dir = newDir
 		g++
 		t.cacheDouble(newDir)
+		t.fr.Record(obs.EvDirDouble, obs.TagNone, uint64(g), 0)
 	}
 
 	estart, span := dirCoverage(g, l, pat)
@@ -1180,6 +1230,7 @@ func (t *Table) splitPublish(oldSeg, newSeg pmem.Addr, l uint8, pat uint64, sc *
 	if t.hookAfterPublish != nil {
 		t.hookAfterPublish()
 	}
+	t.fr.Record(obs.EvSplitPublish, obs.TagNone, uint64(oldSeg), uint64(newSeg))
 
 	// Metadata bump and marker clear share the header line and persist
 	// once. The directory already routes the moved half to the sibling, so
@@ -1200,6 +1251,7 @@ func (t *Table) splitPublish(oldSeg, newSeg pmem.Addr, l uint8, pat uint64, sc *
 	segSweepBatched(p, oldMir, oldSeg, t.seed, func(rp hashfn.Parts, _ pmem.KV) bool {
 		return rp.DepthBit(l)
 	}, sc.known[:], sc.kvalid[:], t.hookMidSweep)
+	t.fr.Record(obs.EvSplitSweep, obs.TagNone, uint64(oldSeg), uint64(time.Since(begin).Nanoseconds()))
 	// Write-through before the deferred bucket unlocks: once writers can
 	// get past the locks, the cache already routes the moved half to
 	// newSeg.
@@ -1340,6 +1392,7 @@ func (t *Table) assistConvert(sib pmem.Addr, pk *probeKey, kv pmem.KV) bool {
 // left duplicated, misrouted or unreachable are swept out.
 func (t *Table) recover() error {
 	p := t.pool
+	rstart := obs.Now()
 	dir := pmem.Addr(p.ReadU64(rootAddr.Add(rootOffDir)))
 	if dir.IsNull() {
 		return ErrNotATable
@@ -1397,6 +1450,8 @@ func (t *Table) recover() error {
 	if changed {
 		p.Persist(dirEntryAddr(dir, 0), 8*n)
 	}
+	dirDone := obs.Now()
+	t.recordRecoveryPhase(phaseDir, obs.PhaseDirectory, rstart, dirDone)
 
 	// Re-derive each segment's (depth, pattern) from its actual coverage and
 	// reset every bucket's version lock. Coverage ranges are contiguous by
@@ -1461,6 +1516,8 @@ func (t *Table) recover() error {
 		total += int64(segCount(p, seg))
 	}
 	t.count.Store(total)
+	segDone := obs.Now()
+	t.recordRecoveryPhase(phaseSegments, obs.PhaseSegments, dirDone, segDone)
 
 	// Record-log sweep, after every slot-level sweep has settled: collect
 	// the blob addresses the surviving records reference, then let the log
@@ -1491,12 +1548,17 @@ func (t *Table) recover() error {
 	}); err != nil {
 		return err
 	}
+	logDone := obs.Now()
+	t.recordRecoveryPhase(phaseLog, obs.PhaseLog, segDone, logDone)
 	// The PM image is reconciled; mirror it into the DRAM directory cache
 	// with one O(directory) pass, then rebuild the per-segment filter
 	// mirrors from the healed buckets (all recovery mutators above ran with
 	// a nil mirror, so nothing stale can survive this).
 	t.cacheRebuild()
 	t.mirrorRebuildAll()
+	end := obs.Now()
+	t.recordRecoveryPhase(phaseMirrors, obs.PhaseMirrors, logDone, end)
+	t.met.recoveryTotalNS.Store(end - rstart)
 	return nil
 }
 

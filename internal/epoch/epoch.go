@@ -12,6 +12,8 @@ package epoch
 import (
 	"sync"
 	"sync/atomic"
+
+	"dash/internal/obs"
 )
 
 // MaxGuards bounds the number of concurrently active guards.
@@ -40,6 +42,17 @@ type Manager struct {
 	// AdvanceEvery controls how many retires trigger an advance+collect
 	// attempt. Defaults to 64.
 	AdvanceEvery uint64
+
+	// Optional observability, set before first use; all obs methods are
+	// nil-safe, so an uninstrumented Manager pays one predicted branch.
+	// Retired counts objects handed to Retire, Reclaimed those actually
+	// freed, ReclaimLagNS the retire→free delay of each — the reclamation
+	// lag a stalled reader inflates. Trace receives an EvEpochAdvance per
+	// successful advance.
+	Retired      *obs.Counter
+	Reclaimed    *obs.Counter
+	ReclaimLagNS *obs.Histogram
+	Trace        *obs.Flight
 }
 
 type paddedSlot struct {
@@ -49,6 +62,7 @@ type paddedSlot struct {
 
 type retiredItem struct {
 	free func()
+	at   int64 // obs.Now() when retired, for reclamation-lag metering
 }
 
 // NewManager returns a ready Manager.
@@ -119,8 +133,9 @@ func (m *Manager) pushSlot(i int) {
 func (m *Manager) Retire(free func()) {
 	e := m.global.Load()
 	m.mu.Lock()
-	m.retired[e%3] = append(m.retired[e%3], retiredItem{free: free})
+	m.retired[e%3] = append(m.retired[e%3], retiredItem{free: free, at: obs.Now()})
 	m.mu.Unlock()
+	m.Retired.Inc()
 	if m.pending.Add(1)%m.maxPending() == 0 {
 		m.TryAdvance()
 	}
@@ -154,9 +169,13 @@ func (m *Manager) TryAdvance() int {
 	items := m.retired[bucket]
 	m.retired[bucket] = nil
 	m.mu.Unlock()
+	now := obs.Now()
 	for _, it := range items {
 		it.free()
+		m.ReclaimLagNS.Record(now - it.at)
 	}
+	m.Reclaimed.Add(uint64(len(items)))
+	m.Trace.Record(obs.EvEpochAdvance, obs.TagNone, e+1, uint64(len(items)))
 	m.pending.Add(^uint64(len(items) - 1))
 	return len(items)
 }

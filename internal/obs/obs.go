@@ -1,0 +1,111 @@
+// Package obs is the engine's always-on observability layer: one place for
+// the metrics and tracing machinery that was previously scattered, duplicated
+// or missing across the other packages. Three pieces:
+//
+//   - Counter and Histogram — lock-free, cacheline-sharded primitives cheap
+//     enough for every hot path (a Counter increment is one uncontended
+//     atomic add on a goroutine-private shard; a Histogram record is two).
+//     Histogram uses the same log-bucketed layout as the benchmark
+//     harness (16 linear sub-buckets per octave), so engine-side and
+//     harness-side distributions are directly comparable.
+//   - Registry — names the meters. Every layer registers its counters,
+//     gauges and histograms under a dotted name ("dircache.hits",
+//     "split.migrate_ns", ...) and Table.Stats(), the bench re-windowing
+//     logic and the live endpoint all read the same Snapshot.
+//   - Flight — a fixed-size flight recorder of typed binary events (op
+//     completions with a path tag, split lifecycle transitions, heals,
+//     epoch advances, recovery phases). Recording allocates nothing and
+//     takes no locks; TraceSnapshot merges the per-goroutine rings into one
+//     time-ordered log that turns a p999 outlier into a narrative.
+//
+// Serve exposes all of it (plus net/http/pprof) over HTTP for live
+// introspection of a running table.
+//
+// All timestamps in this package are nanoseconds on one process-wide
+// monotonic timeline (Now), so events from different components order
+// correctly in a merged trace.
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+	"unsafe"
+)
+
+// epoch anchors the package timeline. Using one base for every component
+// keeps all Event.TS values and duration math on a single monotonic clock.
+var epoch = time.Now()
+
+// Now returns nanoseconds since process start on the monotonic clock.
+func Now() int64 { return int64(time.Since(epoch)) }
+
+// shards is the fan-out of Counter and of the flight recorder's op lane.
+// 64 cachelines of counter is 4KiB per Counter — cheap enough to register
+// dozens, wide enough that a few dozen runnable goroutines rarely collide.
+const shards = 64
+
+// goShard keys a shard by the calling goroutine: the address of a stack
+// local, pages apart for distinct goroutine stacks. Keying by goroutine
+// rather than by the operation's key hash matters under skew — hash keying
+// would re-converge every access to a hot key onto one cacheline,
+// recreating exactly the cross-thread hotspot the sharding removes. A
+// goroutine's shard is stable apart from stack moves, which only
+// redistribute, never contend.
+func goShard() uint64 {
+	var probe byte
+	s := uint64(uintptr(unsafe.Pointer(&probe)))
+	// Goroutine stacks are kibibytes apart; fold a few page-granular bits.
+	return (s>>10 ^ s>>16) % shards
+}
+
+// Counter is a cacheline-sharded event counter: increments spread over
+// independent lines, reads sum the shards. The total is exact (per-shard
+// atomics, monotone between resets). The zero value is ready to use, and
+// all methods are safe on a nil *Counter (no-ops reading zero), so optional
+// meters cost exactly one predictable branch when absent.
+type Counter struct {
+	shards [shards]counterShard
+}
+
+type counterShard struct {
+	n atomic.Uint64
+	_ [56]byte // pad to a cacheline
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n to the calling goroutine's shard.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.shards[goShard()].n.Add(n)
+}
+
+// Total sums the shards. Exact at some instant during the call — the
+// strongest guarantee lock-free accounting offers, and all a windowed
+// measurement needs.
+func (c *Counter) Total() uint64 {
+	if c == nil {
+		return 0
+	}
+	var t uint64
+	for i := range c.shards {
+		t += c.shards[i].n.Load()
+	}
+	return t
+}
+
+// Reset zeroes the counter shard by shard. Safe to call while writers run —
+// each store is atomic — but increments landing mid-reset may survive in
+// not-yet-cleared shards or vanish in already-cleared ones; a mid-run reset
+// re-baselines "roughly now" rather than at one instant.
+func (c *Counter) Reset() {
+	if c == nil {
+		return
+	}
+	for i := range c.shards {
+		c.shards[i].n.Store(0)
+	}
+}

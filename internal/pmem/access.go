@@ -18,7 +18,7 @@ import "sync/atomic"
 
 func (p *Pool) onRead(a Addr, n uint64) {
 	lines := lineSpan(a, n)
-	p.stats.addRead(a, lines)
+	p.stats.addRead(lines)
 	if p.model != nil {
 		p.model.chargeRead(lines)
 	}
@@ -26,7 +26,7 @@ func (p *Pool) onRead(a Addr, n uint64) {
 
 func (p *Pool) onWrite(a Addr, n uint64) {
 	lines := lineSpan(a, n)
-	p.stats.addWrite(a, lines)
+	p.stats.addWrite(lines)
 	if p.model != nil {
 		p.model.chargeWrite(lines)
 	}

@@ -27,6 +27,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"unsafe"
+
+	"dash/internal/obs"
 )
 
 // CachelineSize is the unit of flushing and of crash-atomicity tracking.
@@ -127,6 +129,10 @@ func (p *Pool) Stats() StatsSnapshot { return p.stats.snapshot() }
 // Stats.reset for what concurrent increments may observe.
 func (p *Pool) ResetStats() { p.stats.reset() }
 
+// RegisterMetrics exposes the pool's traffic counters on r under pmem.*
+// names.
+func (p *Pool) RegisterMetrics(r *obs.Registry) { p.stats.Register(r) }
+
 // CostModel returns the active cost model, or nil.
 func (p *Pool) Model() *CostModel { return p.model }
 
@@ -183,7 +189,7 @@ func (p *Pool) Flush(a Addr, n uint64) {
 	first := uint64(a) / CachelineSize
 	last := (uint64(a) + n - 1) / CachelineSize
 	lines := last - first + 1
-	p.stats.addFlush(a, lines)
+	p.stats.addFlush(lines)
 	if p.model != nil {
 		p.model.chargeFlush(lines)
 	}

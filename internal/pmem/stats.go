@@ -1,41 +1,31 @@
 package pmem
 
-import "sync/atomic"
+import "dash/internal/obs"
 
-// statsShards spreads the hot counters over independent cachelines so that
-// accounting does not itself become the scalability bottleneck it measures.
-// Reads, writes and flushes shard by the address they touch (addresses are
-// well spread in a hash table); fences have no address and use a dedicated
-// round-robin cursor, which is cold enough not to matter.
-const statsShards = 64
-
-type statsShard struct {
-	readLines  atomic.Uint64
-	writeLines atomic.Uint64
-	flushes    atomic.Uint64
-	fences     atomic.Uint64
-	_          [32]byte // pad to a cacheline
-}
-
-// Stats accumulates PM traffic at cacheline granularity.
+// Stats accumulates PM traffic at cacheline granularity. Each counter is a
+// goroutine-sharded obs.Counter, so accounting cannot itself become the
+// scalability bottleneck it measures: increments land on goroutine-private
+// cachelines and reads sum the shards.
 type Stats struct {
-	shards      [statsShards]statsShard
-	fenceCursor atomic.Uint32
+	readLines  obs.Counter
+	writeLines obs.Counter
+	flushes    obs.Counter
+	fences     obs.Counter
 }
 
-func shardIndex(a Addr) int {
-	l := uint64(a) / CachelineSize
-	// Mix so that strided access patterns still spread across shards.
-	l ^= l >> 7
-	return int(l % statsShards)
-}
+func (s *Stats) addRead(lines uint64)  { s.readLines.Add(lines) }
+func (s *Stats) addWrite(lines uint64) { s.writeLines.Add(lines) }
+func (s *Stats) addFlush(lines uint64) { s.flushes.Add(lines) }
+func (s *Stats) addFence()             { s.fences.Inc() }
 
-func (s *Stats) addRead(a Addr, lines uint64)  { s.shards[shardIndex(a)].readLines.Add(lines) }
-func (s *Stats) addWrite(a Addr, lines uint64) { s.shards[shardIndex(a)].writeLines.Add(lines) }
-func (s *Stats) addFlush(a Addr, lines uint64) { s.shards[shardIndex(a)].flushes.Add(lines) }
-
-func (s *Stats) addFence() {
-	s.shards[s.fenceCursor.Add(1)%statsShards].fences.Add(1)
+// Register exposes the pool's traffic counters on an obs.Registry under
+// pmem.* names, so the engine's metrics endpoint shows PM traffic alongside
+// the table-level meters.
+func (s *Stats) Register(r *obs.Registry) {
+	r.Gauge("pmem.read_lines", func() int64 { return int64(s.readLines.Total()) })
+	r.Gauge("pmem.write_lines", func() int64 { return int64(s.writeLines.Total()) })
+	r.Gauge("pmem.flushed_lines", func() int64 { return int64(s.flushes.Total()) })
+	r.Gauge("pmem.fences", func() int64 { return int64(s.fences.Total()) })
 }
 
 // StatsSnapshot is a point-in-time view of PM traffic.
@@ -79,15 +69,12 @@ func (s StatsSnapshot) Sub(earlier StatsSnapshot) StatsSnapshot {
 }
 
 func (s *Stats) snapshot() StatsSnapshot {
-	var out StatsSnapshot
-	for i := range s.shards {
-		sh := &s.shards[i]
-		out.ReadLines += sh.readLines.Load()
-		out.WriteLines += sh.writeLines.Load()
-		out.FlushedLines += sh.flushes.Load()
-		out.Fences += sh.fences.Load()
+	return StatsSnapshot{
+		ReadLines:    s.readLines.Total(),
+		WriteLines:   s.writeLines.Total(),
+		FlushedLines: s.flushes.Total(),
+		Fences:       s.fences.Total(),
 	}
-	return out
 }
 
 // reset zeroes the counters shard by shard. Safe to call while accessors
@@ -95,11 +82,8 @@ func (s *Stats) snapshot() StatsSnapshot {
 // in not-yet-cleared shards or vanish in already-cleared ones; a mid-run
 // reset therefore re-baselines "roughly now" rather than at one instant.
 func (s *Stats) reset() {
-	for i := range s.shards {
-		sh := &s.shards[i]
-		sh.readLines.Store(0)
-		sh.writeLines.Store(0)
-		sh.flushes.Store(0)
-		sh.fences.Store(0)
-	}
+	s.readLines.Reset()
+	s.writeLines.Reset()
+	s.flushes.Reset()
+	s.fences.Reset()
 }

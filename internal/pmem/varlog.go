@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+
+	"dash/internal/obs"
 )
 
 // VarLog is a crash-consistent, bump-allocated log of variable-length
@@ -80,6 +82,12 @@ type VarLog struct {
 	liveBytes  atomic.Uint64 // capacity of committed, not-freed blobs
 	liveBlobs  atomic.Int64
 	freeBytes  atomic.Uint64 // capacity sitting in the free list
+
+	// FreeHits/FreeMisses, when non-nil, meter blob allocations served from
+	// the DRAM free list vs. fresh bump allocations (chunk frontier or
+	// grow). Optional observability: set them before first use (obs.Counter
+	// methods are nil-safe, so unset meters cost one predicted branch).
+	FreeHits, FreeMisses *obs.Counter
 }
 
 const (
@@ -207,6 +215,7 @@ func (l *VarLog) allocBlob(capBytes uint64) (Addr, error) {
 		l.free[capBytes] = spans[:len(spans)-1]
 		l.mu.Unlock()
 		l.freeBytes.Add(^(capBytes - 1))
+		l.FreeHits.Inc()
 		return a, nil
 	}
 	l.mu.Unlock()
@@ -223,6 +232,7 @@ func (l *VarLog) allocBlob(capBytes uint64) (Addr, error) {
 				}
 				if p.CompareAndSwapU64(ba, bump, bump+capBytes) {
 					p.Persist(ba, 8)
+					l.FreeMisses.Inc()
 					return Addr(bump), nil
 				}
 			}
