@@ -63,10 +63,10 @@ bench-gate:
 
 # bench is the real measurement matrix (core mix suite plus the
 # variable-length mixes × 1..8 threads under the full Optane cost model)
-# and writes the trajectory file BENCH_pr7.json, recovery timings included.
+# and writes the trajectory file BENCH_pr8.json, recovery timings included.
 bench:
 	$(GO) run ./cmd/dashbench -threads 8 -ops 100000 -keyspace 100000 \
-		-mix var-insert,var-read,var-ycsb-b -recovery -out BENCH_pr7.json
+		-mix var-insert,var-read,var-ycsb-b -recovery -out BENCH_pr8.json
 
 # ci is the gate every change must pass: vet, build, the full test suite
 # under the race detector (the concurrency tests rely on it), the docs

@@ -49,6 +49,11 @@ type cellThresholds struct {
 	PMWriteBytesPerOpMax float64 `json:"pm_write_bytes_per_op_max"`
 	PMReadBytesPerOpMax  float64 `json:"pm_read_bytes_per_op_max"`
 	LoadFactorMin        float64 `json:"load_factor_min"`
+	// RecoveryOpenNSMax, when > 0, turns the cell into a restart-latency
+	// gate: the cell's durable image is reopened on the crash path and
+	// core.Open's wall time (time-to-first-op, before any lazy per-segment
+	// work) must stay under the ceiling.
+	RecoveryOpenNSMax int64 `json:"recovery_open_ns_max"`
 }
 
 type gateCell struct {
@@ -113,6 +118,9 @@ func runCell(cell gateCell) bool {
 	if cell.Config.Scale > 0 {
 		cfg.Model = pmem.ScaledOptane(cell.Config.Scale)
 	}
+	if cell.Thresholds.RecoveryOpenNSMax > 0 {
+		cfg.MeasureRecovery = true
+	}
 	fmt.Printf("benchgate[%s]: mix %s, %d threads, %d ops, keyspace %d, seed %d, scale %d\n",
 		cell.Name, mix.Name, cfg.Threads, cfg.Ops, cfg.Keyspace, cfg.Seed, cell.Config.Scale)
 
@@ -135,6 +143,11 @@ func runCell(cell gateCell) bool {
 	check("max latency ns", float64(res.MaxNS), float64(th.MaxNSMax))
 	check("PM write bytes/op", res.WriteBytesPerOp, th.PMWriteBytesPerOpMax)
 	check("PM read bytes/op", res.ReadBytesPerOp, th.PMReadBytesPerOpMax)
+	if th.RecoveryOpenNSMax > 0 {
+		check("crash open ns (first op)", float64(res.RecoveryOpenNS), float64(th.RecoveryOpenNSMax))
+		fmt.Printf("  info fully_recovered_ms=%.2f clean_open_ms=%.2f\n",
+			float64(res.RecoveryFullNS)/1e6, float64(res.RecoveryCleanOpenNS)/1e6)
+	}
 	if th.LoadFactorMin > 0 {
 		status := "ok  "
 		if res.Table.LoadFactor < th.LoadFactorMin {

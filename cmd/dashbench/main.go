@@ -110,14 +110,21 @@ type cellJSON struct {
 	LogFreeHits    uint64 `json:"log_free_hits"`
 	LogFreeMisses  uint64 `json:"log_free_misses"`
 
-	// Recovery phase wall times from re-opening the cell's durable image
-	// (-recovery; zero otherwise): directory rebuild, segment reconcile,
-	// record-log sweep, DRAM mirror rebuild, and the whole Open.
-	RecoveryDirNS      int64 `json:"recovery_dir_ns,omitempty"`
-	RecoverySegmentsNS int64 `json:"recovery_segments_ns,omitempty"`
-	RecoveryLogNS      int64 `json:"recovery_log_ns,omitempty"`
-	RecoveryMirrorsNS  int64 `json:"recovery_mirrors_ns,omitempty"`
-	RecoveryTotalNS    int64 `json:"recovery_total_ns,omitempty"`
+	// Restart latency from re-opening the cell's durable image (-recovery;
+	// zero otherwise, schema v6). The crash-path reopen splits
+	// time-to-first-op (recovery_open_ns: core.Open's O(directory) work)
+	// from time-to-fully-recovered (recovery_full_ns: Open + every lazy
+	// first-touch segment recovery + the record-log sweep); the phase
+	// fields break that full recovery's work down. recovery_clean_open_ns
+	// is the clean-shutdown fast path's Open wall.
+	RecoveryOpenNS      int64 `json:"recovery_open_ns,omitempty"`
+	RecoveryFullNS      int64 `json:"recovery_full_ns,omitempty"`
+	RecoveryCleanOpenNS int64 `json:"recovery_clean_open_ns,omitempty"`
+	RecoveryDirNS       int64 `json:"recovery_dir_ns,omitempty"`
+	RecoverySegmentsNS  int64 `json:"recovery_segments_ns,omitempty"`
+	RecoveryLogNS       int64 `json:"recovery_log_ns,omitempty"`
+	RecoveryMirrorsNS   int64 `json:"recovery_mirrors_ns,omitempty"`
+	RecoveryTotalNS     int64 `json:"recovery_total_ns,omitempty"`
 }
 
 type benchJSON struct {
@@ -187,7 +194,7 @@ func main() {
 		fmt.Printf("dashbench: debug endpoint on http://%s (/metrics, /trace, /debug/pprof)\n", srv.Addr())
 	}
 
-	outJSON := benchJSON{Bench: "dashbench", SchemaVersion: 5}
+	outJSON := benchJSON{Bench: "dashbench", SchemaVersion: 6}
 	outJSON.Config.Keyspace = *keyspace
 	outJSON.Config.Theta = *theta
 	outJSON.Config.OpsPerRun = *ops
@@ -242,7 +249,10 @@ func main() {
 					float64(res.Table.LogFreeBytes)/(1<<20), float64(res.Table.LogChunkBytes)/(1<<20))
 			}
 			if *recovery {
-				fmt.Printf("          ^ recovery: %.2fms total (dir %.2f, segments %.2f, log %.2f, mirrors %.2f)\n",
+				fmt.Printf("          ^ restart: crash open %.2fms (first op), fully recovered %.2fms, clean open %.2fms\n",
+					float64(res.RecoveryOpenNS)/1e6, float64(res.RecoveryFullNS)/1e6,
+					float64(res.RecoveryCleanOpenNS)/1e6)
+				fmt.Printf("          ^ recovery work: %.2fms total (dir %.2f, segments %.2f, log %.2f, mirrors %.2f)\n",
 					float64(res.RecoveryTotalNS)/1e6, float64(res.RecoveryDirNS)/1e6,
 					float64(res.RecoverySegmentsNS)/1e6, float64(res.RecoveryLogNS)/1e6,
 					float64(res.RecoveryMirrorsNS)/1e6)
@@ -365,11 +375,14 @@ func toCell(r *bench.Result) cellJSON {
 		LogFreeHits:    r.Table.LogFreeHits,
 		LogFreeMisses:  r.Table.LogFreeMisses,
 
-		RecoveryDirNS:      r.RecoveryDirNS,
-		RecoverySegmentsNS: r.RecoverySegmentsNS,
-		RecoveryLogNS:      r.RecoveryLogNS,
-		RecoveryMirrorsNS:  r.RecoveryMirrorsNS,
-		RecoveryTotalNS:    r.RecoveryTotalNS,
+		RecoveryOpenNS:      r.RecoveryOpenNS,
+		RecoveryFullNS:      r.RecoveryFullNS,
+		RecoveryCleanOpenNS: r.RecoveryCleanOpenNS,
+		RecoveryDirNS:       r.RecoveryDirNS,
+		RecoverySegmentsNS:  r.RecoverySegmentsNS,
+		RecoveryLogNS:       r.RecoveryLogNS,
+		RecoveryMirrorsNS:   r.RecoveryMirrorsNS,
+		RecoveryTotalNS:     r.RecoveryTotalNS,
 	}
 }
 

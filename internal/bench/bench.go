@@ -44,11 +44,15 @@ type Config struct {
 	// pays simulated Optane latencies and bandwidth limits. Preload runs
 	// uncharged: it is setup, not workload.
 	Model *pmem.CostModel
-	// MeasureRecovery, when true, snapshots the durable pool image after the
-	// measured phase and re-opens it through core.Open, filling the Result's
-	// Recovery*NS fields with the phase wall times of that recovery. The
-	// reopen runs after every measured metric is taken, on an unmodeled pool,
-	// so it perturbs nothing and reports raw engine time.
+	// MeasureRecovery, when true, exercises both restart paths after the
+	// measured phase: the crash path (image snapshotted while the table is
+	// open, so Open must reconcile and recovery completes lazily) and the
+	// clean-shutdown fast path (image snapshotted after Close persisted the
+	// clean marker). It fills the Result's Recovery*NS fields — crucially
+	// splitting time-to-first-op (RecoveryOpenNS) from
+	// time-to-fully-recovered (RecoveryFullNS). The reopens run after every
+	// measured metric is taken, on unmodeled pools, so they perturb nothing
+	// and report raw engine time.
 	MeasureRecovery bool
 	// OnTable, when non-nil, is called with the live table right after it is
 	// created, before preload — the hook dashbench uses to point its debug
@@ -111,13 +115,22 @@ type Result struct {
 	// Table is the shape after the run.
 	Table core.TableStats
 
-	// Recovery phase wall times from re-opening the run's durable image
-	// (Config.MeasureRecovery); all zero when measurement was off.
-	RecoveryTotalNS    int64
-	RecoveryDirNS      int64
-	RecoverySegmentsNS int64
-	RecoveryLogNS      int64
-	RecoveryMirrorsNS  int64
+	// Recovery timings from re-opening the run's durable image
+	// (Config.MeasureRecovery); all zero when measurement was off. The
+	// crash-path reopen reports RecoveryOpenNS (core.Open wall: the
+	// O(directory) work before the table serves traffic — time-to-first-op)
+	// and RecoveryFullNS (Open through RecoverAll: every per-segment
+	// first-touch recovery plus the record-log sweep — time-to-fully-
+	// recovered); the phase fields break the crash recovery's work down.
+	// RecoveryCleanOpenNS is the clean-shutdown fast path's Open wall.
+	RecoveryOpenNS      int64
+	RecoveryFullNS      int64
+	RecoveryCleanOpenNS int64
+	RecoveryTotalNS     int64
+	RecoveryDirNS       int64
+	RecoverySegmentsNS  int64
+	RecoveryLogNS       int64
+	RecoveryMirrorsNS   int64
 
 	Counts Counts
 }
@@ -276,29 +289,56 @@ func Run(cfg Config) (*Result, error) {
 		return nil, fmt.Errorf("bench: lost operations: table count %d, want %d", tb.Count(), want)
 	}
 
-	// Optional recovery measurement: reopen the durable image the run left
-	// behind and read the phase timings out of the recovered table's stats.
-	// This models a clean-shutdown restart (no crash tracking here); the
-	// crash-recovery path itself is exercised by the core tests.
+	// Optional recovery measurement: reopen the run's durable image on both
+	// restart paths. Crash path first — the image is snapshotted while the
+	// table is still open, so its clean marker is unset and Open must
+	// reconcile — splitting time-to-first-op (Open's O(directory) wall) from
+	// time-to-fully-recovered (Open plus a synchronous RecoverAll: every
+	// first-touch segment recovery and the record-log sweep). Then the table
+	// is closed and the clean-shutdown image reopened through its fast path.
 	if cfg.MeasureRecovery {
-		rp, err := pmem.OpenSnapshot(pool.Snapshot(), pmem.Options{})
+		want := tb.Count()
+		crashImg := pool.Snapshot() // table still open: crash-path image
+		tb.Close()
+		cleanImg := pool.Snapshot() // clean marker persisted: fast-path image
+
+		rp, err := pmem.OpenSnapshot(crashImg, pmem.Options{})
 		if err != nil {
 			return nil, fmt.Errorf("bench: recovery snapshot: %w", err)
 		}
+		start := time.Now()
 		rt, err := core.Open(rp)
 		if err != nil {
-			return nil, fmt.Errorf("bench: recovery reopen: %w", err)
+			return nil, fmt.Errorf("bench: crash reopen: %w", err)
 		}
+		res.RecoveryOpenNS = time.Since(start).Nanoseconds()
+		rt.RecoverAll()
+		res.RecoveryFullNS = time.Since(start).Nanoseconds()
 		rs := rt.Stats()
 		rt.Close()
-		if rs.Count != tb.Count() {
-			return nil, fmt.Errorf("bench: recovery lost records: reopened count %d, want %d", rs.Count, tb.Count())
+		if rs.Count != want {
+			return nil, fmt.Errorf("bench: crash recovery lost records: reopened count %d, want %d", rs.Count, want)
 		}
 		res.RecoveryTotalNS = rs.RecoveryTotalNS
 		res.RecoveryDirNS = rs.RecoveryDirNS
 		res.RecoverySegmentsNS = rs.RecoverySegmentsNS
 		res.RecoveryLogNS = rs.RecoveryLogNS
 		res.RecoveryMirrorsNS = rs.RecoveryMirrorsNS
+
+		cp, err := pmem.OpenSnapshot(cleanImg, pmem.Options{})
+		if err != nil {
+			return nil, fmt.Errorf("bench: clean snapshot: %w", err)
+		}
+		start = time.Now()
+		ct, err := core.Open(cp)
+		if err != nil {
+			return nil, fmt.Errorf("bench: clean reopen: %w", err)
+		}
+		res.RecoveryCleanOpenNS = time.Since(start).Nanoseconds()
+		if got := ct.Count(); got != want {
+			return nil, fmt.Errorf("bench: clean reopen lost records: count %d, want %d", got, want)
+		}
+		ct.Close()
 	}
 	return res, nil
 }

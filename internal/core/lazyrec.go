@@ -1,0 +1,295 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"dash/internal/hashfn"
+	"dash/internal/obs"
+	"dash/internal/pmem"
+)
+
+// Lazy per-segment recovery (§4.6): Open does only the O(directory) work —
+// entry claims, segment metadata fixes, lock resets, chunk-chain validation,
+// dirCache rebuild — and defers everything O(data) to first touch. Every
+// directory-reachable segment starts "unrecovered" in a DRAM side table; the
+// first operation routed to it wins a CAS gate (the split-claim idiom) and
+// runs the per-segment reconcile — misroute/duplicate/ghost sweeps, count
+// re-derivation, filter-mirror install — while losers spin the winner out.
+// The record-log sweep runs as an incremental background pass once every
+// segment has recovered (it needs the complete reference set), free-listing
+// dead blobs in small batches under epoch guards.
+//
+// After a *clean* shutdown (Close persisted the root's clean marker) the
+// per-segment sweeps and the count derivation are skipped entirely — the
+// image is reconciled by construction — but first touch still installs the
+// segment's mirror and contributes its blob references, and the background
+// pass still runs to rebuild the record log's DRAM free list.
+
+const (
+	segRecPending uint32 = iota
+	segRecInFlight
+	segRecDone
+)
+
+// segRecoverState is one segment's first-touch gate. Pointer-stable: the
+// pending map is built once in Open and read-only afterwards.
+type segRecoverState struct {
+	state atomic.Uint32
+}
+
+// lazyRecovery is the DRAM side table describing what Open deferred. The
+// Table drops its pointer once the background pass finishes, restoring the
+// ungated hot path.
+type lazyRecovery struct {
+	clean  bool        // clean-shutdown image: skip sweeps and count derivation
+	g      uint8       // global depth at Open
+	fixed  []pmem.Addr // reconciled directory image at Open, for misroute checks
+	openAt int64       // obs.Now() at Open, base of time-to-fully-recovered
+
+	// pending maps every directory-reachable segment at Open to its gate.
+	// Segments created after Open (split siblings) are absent — born
+	// recovered. order is the deterministic iteration for driveRecovery.
+	pending   map[pmem.Addr]*segRecoverState
+	order     []pmem.Addr
+	remaining atomic.Int64
+
+	// refs accumulates the blob addresses referenced by recovered segments'
+	// slots, captured inside each segment's exclusive gate. Complete once
+	// remaining hits zero; the background sweep then reads it without the
+	// mutex (every insert happened-before the sweep's state observations).
+	refMu sync.Mutex
+	refs  map[pmem.Addr]struct{}
+
+	// drvMu serializes driveRecovery (the background goroutine, RecoverAll
+	// callers, Close). done flips after the log sweep completes.
+	drvMu sync.Mutex
+	done  atomic.Bool
+}
+
+// disableBackgroundRecovery, when set, stops Open from spawning the
+// background recovery driver — tests that must observe segments in their
+// unrecovered state (first-touch races, mid-sweep crashes) set it and drive
+// recovery by hand. Package-private test knob, not part of the API.
+var disableBackgroundRecovery atomic.Bool
+
+// ensureRecovered gates one routed segment: a no-op once the table is fully
+// recovered (single pointer load) or when seg was already handled. Called at
+// the top of every op-loop iteration, before the segment's mirror or buckets
+// are trusted.
+func (t *Table) ensureRecovered(seg pmem.Addr) {
+	lr := t.lazy.Load()
+	if lr == nil {
+		return
+	}
+	s := lr.pending[seg]
+	if s == nil || s.state.Load() == segRecDone {
+		return
+	}
+	t.firstTouch(lr, s, seg)
+}
+
+// firstTouch is the once-per-segment gate: the CAS winner recovers the
+// segment, losers wait it out (no locks held at the call sites, so spinning
+// is deadlock-free — the same shape as split's claim).
+func (t *Table) firstTouch(lr *lazyRecovery, s *segRecoverState, seg pmem.Addr) {
+	if s.state.CompareAndSwap(segRecPending, segRecInFlight) {
+		t.recoverSegment(lr, seg)
+		s.state.Store(segRecDone)
+		lr.remaining.Add(-1)
+		return
+	}
+	for s.state.Load() != segRecDone {
+		runtime.Gosched()
+	}
+}
+
+// recoverSegment runs the deferred per-segment work under the caller's
+// exclusive gate: no operation can touch the segment's buckets until the
+// gate releases, so the sweeps run single-threaded exactly as they did in
+// eager recovery. A segment cannot split before it recovers (every mutator
+// gates first), so lr.fixed/lr.g still describe its coverage.
+func (t *Table) recoverSegment(lr *lazyRecovery, seg pmem.Addr) {
+	p := t.pool
+	start := obs.Now()
+	if !lr.clean {
+		segSweep(p, seg, t.seed, func(rp hashfn.Parts, _ pmem.KV) bool {
+			return lr.fixed[rp.DirIndex(lr.g)] != seg
+		})
+		t.dedupeSegment(seg)
+		t.sweepStashGhosts(seg)
+		t.count.Add(int64(segCount(p, seg)))
+	}
+	segDone := obs.Now()
+
+	// Mirror install + blob-reference capture in one streaming pass over the
+	// reconciled buckets. The whole segment is charged as one sequential
+	// read; the per-word loads inside mirrorFillBucket are quiet.
+	mir := t.mirrorInstall(seg, segDepth(p, seg), segPattern(p, seg))
+	var refs []pmem.Addr
+	for bi := 0; bi < totalBuckets; bi++ {
+		ba := segBucket(seg, bi)
+		p.TouchRead(ba, pmem.CachelineSize) // header line
+		mirrorFillBucket(p, mir, seg, bi)
+		m := mir.word(bi, mirBkMeta).Load()
+		for slot := 0; slot < slotsPerBucket; slot++ {
+			if !metaSlotUsed(m, slot) {
+				continue
+			}
+			if w0 := mir.recWord(bi, slot, 0).Load(); recIsIndirect(w0) {
+				refs = append(refs, recBlobAddr(w0))
+			}
+		}
+	}
+	if len(refs) > 0 {
+		lr.refMu.Lock()
+		for _, a := range refs {
+			lr.refs[a] = struct{}{}
+		}
+		lr.refMu.Unlock()
+	}
+	end := obs.Now()
+
+	// Phase meters accumulate across first touches (the lazy analogue of the
+	// eager one-shot phases); the per-segment latency histogram is what the
+	// tail pays at first touch.
+	t.met.recoveryNS[phaseSegments].Add(segDone - start)
+	t.met.recoveryNS[phaseMirrors].Add(end - segDone)
+	t.met.lazySegNS.Record(end - start)
+	t.met.lazySegs.Inc()
+	t.fr.RecordAt(start, obs.EvSegRecover, obs.PhaseSegments, uint64(seg), uint64(end-start))
+}
+
+// RecoverAll completes recovery synchronously: recovers every still-pending
+// segment, then runs the record-log sweep to the end. Idempotent; a no-op on
+// a fully recovered table. Exposed so callers that need exact global state
+// (Count, Close, benchmarks measuring time-to-fully-recovered) can force the
+// background work to happen now.
+func (t *Table) RecoverAll() {
+	if lr := t.lazy.Load(); lr != nil {
+		t.driveRecovery(lr)
+	}
+}
+
+// sweepStepBlobs bounds how many blobs one background sweep step classifies
+// under a single epoch guard; between steps the driver yields so foreground
+// operations never wait on more than one batch.
+const sweepStepBlobs = 256
+
+// driveRecovery is the incremental recovery driver: first-touch every
+// pending segment (yielding between segments), then sweep the record log in
+// bounded steps under epoch guards, free-listing blobs that existed at Open
+// but no recovered segment references. Serialized by drvMu; both the
+// background goroutine and synchronous RecoverAll callers funnel here.
+func (t *Table) driveRecovery(lr *lazyRecovery) {
+	lr.drvMu.Lock()
+	defer lr.drvMu.Unlock()
+	if lr.done.Load() {
+		return
+	}
+	for _, seg := range lr.order {
+		s := lr.pending[seg]
+		if s.state.Load() != segRecDone {
+			t.firstTouch(lr, s, seg)
+			runtime.Gosched()
+		}
+	}
+
+	// Every segment is recovered, so lr.refs is complete and frozen: each
+	// insert into it happened-before the done-state load above. The sweep is
+	// bounded to blobs that existed at Open (RecoverChunks snapshotted the
+	// frontier), so a referenced blob freed-and-reused concurrently is
+	// simply skipped — never double-freed, never handed out twice.
+	lstart := obs.Now()
+	sweep := t.vlog.SweepStart()
+	referenced := func(a pmem.Addr) bool {
+		_, ok := lr.refs[a]
+		return ok
+	}
+	for {
+		g := t.em.Enter()
+		done, freed := sweep.Step(sweepStepBlobs, referenced)
+		g.Exit()
+		if freed > 0 {
+			t.met.lazySweepFreed.Add(uint64(freed))
+		}
+		if done {
+			break
+		}
+		runtime.Gosched()
+	}
+	lend := obs.Now()
+	t.met.recoveryNS[phaseLog].Add(lend - lstart)
+	t.fr.RecordAt(lstart, obs.EvRecovery, obs.PhaseLog, 0, uint64(lend-lstart))
+	// Summarize the accumulated lazy phases into the trace (the eager
+	// protocol's one-shot phase events), and report the total as the summed
+	// phase work — the comparable of the old eager total, while FullNS is
+	// the Open→done wall time foreground traffic actually experienced.
+	segNS, mirNS := t.met.recoveryNS[phaseSegments].Load(), t.met.recoveryNS[phaseMirrors].Load()
+	t.fr.RecordAt(lend, obs.EvRecovery, obs.PhaseSegments, 0, uint64(segNS))
+	t.fr.RecordAt(lend, obs.EvRecovery, obs.PhaseMirrors, 0, uint64(mirNS))
+	t.met.recoveryTotalNS.Store(t.met.recoveryNS[phaseDir].Load() + segNS + mirNS + t.met.recoveryNS[phaseLog].Load())
+	t.met.recoveryFullNS.Store(lend - lr.openAt)
+	lr.done.Store(true)
+	t.lazy.Store(nil)
+}
+
+// recoveryPending reports how many segments still await first touch (0 on a
+// fully recovered or freshly created table).
+func (t *Table) recoveryPending() int64 {
+	if lr := t.lazy.Load(); lr != nil {
+		return lr.remaining.Load()
+	}
+	return 0
+}
+
+// verifyLogLive is the end-of-sweep invariant oracle: the record log's live
+// set — committed blobs not parked on the free list — must equal the set of
+// blobs the segments' slots reference. Quiescent-state test helper; it
+// drains the epoch manager first so retired-but-unreclaimed frees settle,
+// and requires recovery to have completed.
+func (t *Table) verifyLogLive() error {
+	if t.lazy.Load() != nil {
+		return fmt.Errorf("core: verifyLogLive before recovery completed")
+	}
+	t.em.Drain()
+	p := t.pool
+	refs := make(map[pmem.Addr]struct{})
+	v := t.cache.view.Load()
+	seen := make(map[pmem.Addr]bool)
+	for i := range v.entries {
+		seg, _ := unpackEntry(v.entries[i].Load())
+		if seg.IsNull() || seen[seg] {
+			continue
+		}
+		seen[seg] = true
+		for bi := 0; bi < totalBuckets; bi++ {
+			ba := segBucket(seg, bi)
+			m := p.QuietLoadU64(ba.Add(bkOffMeta))
+			for slot := 0; slot < slotsPerBucket; slot++ {
+				if !metaSlotUsed(m, slot) {
+					continue
+				}
+				if w0 := p.QuietLoadU64(recordAddr(ba, slot)); recIsIndirect(w0) {
+					refs[recBlobAddr(w0)] = struct{}{}
+				}
+			}
+		}
+	}
+	free := t.vlog.FreeSpans()
+	var bad []string
+	t.vlog.WalkBlobs(func(a pmem.Addr, capBytes uint64, committed bool) {
+		_, isRef := refs[a]
+		_, isFree := free[a]
+		live := committed && !isFree
+		if live != isRef {
+			bad = append(bad, fmt.Sprintf("blob %#x: committed=%v free=%v referenced=%v", a, committed, isFree, isRef))
+		}
+	})
+	if len(bad) > 0 {
+		return fmt.Errorf("core: log live set diverges from slot references: %v", bad)
+	}
+	return nil
+}

@@ -1,0 +1,332 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+
+	"dash/internal/pmem"
+)
+
+// Tests for the lazy O(directory) recovery protocol (lazyrec.go): the clean
+// fast path, the crash path's first-touch gates under concurrency, and the
+// single-use clean marker.
+
+// withLazyGates disables the background recovery driver for the duration of
+// one test, so segments stay unrecovered until the test itself touches them.
+// Tests in this package run sequentially, so flipping the package-level knob
+// is safe.
+func withLazyGates(t *testing.T) {
+	t.Helper()
+	disableBackgroundRecovery.Store(true)
+	t.Cleanup(func() { disableBackgroundRecovery.Store(false) })
+}
+
+// reopenImage restarts a durable pool image, modeling power-up.
+func reopenImage(t *testing.T, img []byte) (*Table, *pmem.Pool) {
+	t.Helper()
+	pool, err := pmem.OpenSnapshot(img, pmem.Options{TrackCrashes: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := Open(pool)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return tbl, pool
+}
+
+func lazyVarKey(i int) []byte { return []byte(fmt.Sprintf("lazy-var-key-%04d", i)) }
+func lazyVarVal(i int) []byte { return []byte(fmt.Sprintf("lazy-var-val-%d-%d", i, i*31)) }
+
+// TestLazyCleanShutdownFastPath: after Close persisted the clean marker and
+// the count, Open must restore Count straight from the root — before any
+// segment is touched — and leave every segment pending; reads then recover
+// segments through the gates, and RecoverAll finishes the rest.
+func TestLazyCleanShutdownFastPath(t *testing.T) {
+	pool, err := pmem.NewPool(pmem.Options{Size: 64 << 20, TrackCrashes: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := Create(pool, Options{InitialDepth: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const nU, nV = 2000, 300
+	for k := uint64(0); k < nU; k++ {
+		if err := tbl.Insert(k, k*5+1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < nV; i++ {
+		if err := tbl.InsertB(lazyVarKey(i), lazyVarVal(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for k := uint64(0); k < 200; k++ { // deletes so count != inserts
+		if !tbl.Delete(k * 7) {
+			t.Fatalf("delete %d", k*7)
+		}
+	}
+	want := tbl.Count()
+	tbl.Close()
+	img := pool.Snapshot()
+
+	withLazyGates(t)
+	tbl2, pool2 := reopenImage(t, img)
+	st := tbl2.Stats()
+	if st.Count != want {
+		t.Fatalf("clean open Count = %d, want %d (root-restored, no segment touched)", st.Count, want)
+	}
+	if st.RecoveryPendingSegments != int64(st.Segments) || st.Segments < 2 {
+		t.Fatalf("pending = %d, want every one of %d segments", st.RecoveryPendingSegments, st.Segments)
+	}
+	if st.RecoveryOpenNS <= 0 {
+		t.Fatal("RecoveryOpenNS not recorded")
+	}
+	for k := uint64(0); k < nU; k++ { // reads through the first-touch gates
+		v, ok := tbl2.Get(k)
+		if k%7 == 0 && k/7 < 200 {
+			if ok {
+				t.Fatalf("deleted key %d resurrected", k)
+			}
+			continue
+		}
+		if !ok || v != k*5+1 {
+			t.Fatalf("key %d = %d,%v want %d", k, v, ok, k*5+1)
+		}
+	}
+	tbl2.RecoverAll()
+	st = tbl2.Stats()
+	if st.RecoveryPendingSegments != 0 {
+		t.Fatalf("still %d pending after RecoverAll", st.RecoveryPendingSegments)
+	}
+	if st.RecoveryFullNS < st.RecoveryOpenNS {
+		t.Fatalf("FullNS %d < OpenNS %d", st.RecoveryFullNS, st.RecoveryOpenNS)
+	}
+	if got := tbl2.Count(); got != want {
+		t.Fatalf("recovered Count = %d, want %d", got, want)
+	}
+	for i := 0; i < nV; i++ {
+		v, ok := tbl2.GetB(lazyVarKey(i))
+		if !ok || !bytes.Equal(v, lazyVarVal(i)) {
+			t.Fatalf("var key %d = %q,%v", i, v, ok)
+		}
+	}
+	if bad := tbl2.mirrorVerifyAll(); bad != 0 {
+		t.Fatalf("mirror diverges in %d buckets after lazy recovery", bad)
+	}
+	if err := tbl2.verifyLogLive(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The clean marker is single-use: Open consumed (cleared and persisted)
+	// it, so crashing now and reopening must take the crash path and still
+	// converge to the same state.
+	pool2.Crash()
+	tbl3, _ := reopenImage(t, pool2.Snapshot())
+	tbl3.RecoverAll()
+	if got := tbl3.Count(); got != want {
+		t.Fatalf("post-marker-consumption crash reopen Count = %d, want %d", got, want)
+	}
+	tbl3.Close()
+}
+
+// TestLazyFirstTouchConcurrent is the -race workout for the first-touch
+// gate: a crash image is reopened with the background driver disabled, then
+// 8 goroutines race Get/Insert/Delete/Update onto the same unrecovered
+// segments. Each segment must recover exactly once (the lazy.segments
+// counter equals the open-time segment count), no acknowledged record may be
+// lost or duplicated, and the mirrors must be coherent after the gates
+// release.
+func TestLazyFirstTouchConcurrent(t *testing.T) {
+	pool, err := pmem.NewPool(pmem.Options{Size: 64 << 20, TrackCrashes: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := Create(pool, Options{InitialDepth: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const nOld = 2*slotsPerSegment + 300
+	const nVar = 200
+	for k := uint64(0); k < nOld; k++ {
+		if err := tbl.Insert(k, k*7+3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < nVar; i++ {
+		if err := tbl.InsertB(lazyVarKey(i), lazyVarVal(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	img := pool.Snapshot() // no Close: crash-path image
+
+	withLazyGates(t)
+	tbl2, _ := reopenImage(t, img)
+	segs0 := tbl2.Stats().Segments
+	if segs0 < 3 {
+		t.Fatalf("only %d segments; the gate race needs several", segs0)
+	}
+	if got := tbl2.recoveryPending(); got != int64(segs0) {
+		t.Fatalf("pending = %d, want %d", got, segs0)
+	}
+
+	// Old key k's fate is owned by worker k%workers: k%3==0 deleted,
+	// k%3==1 updated to k*7+4, k%3==2 left alone. Non-owners read the key
+	// concurrently and must see a state consistent with that fate. Every
+	// worker also inserts fresh keys, forcing splits to race the gates.
+	const workers = 8
+	const freshPerWorker = 150
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w uint64) {
+			defer wg.Done()
+			for k := uint64(0); k < nOld; k++ {
+				old, upd := k*7+3, k*7+4
+				if k%workers == w {
+					switch k % 3 {
+					case 0:
+						if !tbl2.Delete(k) {
+							t.Errorf("owner delete %d: not found", k)
+							return
+						}
+					case 1:
+						if ok, err := tbl2.Update(k, upd); err != nil || !ok {
+							t.Errorf("owner update %d: %v %v", k, ok, err)
+							return
+						}
+					default:
+						if v, ok := tbl2.Get(k); !ok || v != old {
+							t.Errorf("owner get %d = %d,%v want %d", k, v, ok, old)
+							return
+						}
+					}
+					continue
+				}
+				v, ok := tbl2.Get(k)
+				switch k % 3 {
+				case 0: // racing a delete: present-with-old or absent
+					if ok && v != old {
+						t.Errorf("key %d mid-delete = %d, want %d or absent", k, v, old)
+						return
+					}
+				case 1: // racing an update: old or new, never absent
+					if !ok || (v != old && v != upd) {
+						t.Errorf("key %d mid-update = %d,%v want %d or %d", k, v, ok, old, upd)
+						return
+					}
+				default:
+					if !ok || v != old {
+						t.Errorf("key %d = %d,%v want %d", k, v, ok, old)
+						return
+					}
+				}
+				if k < nVar {
+					b, okB := tbl2.GetB(lazyVarKey(int(k)))
+					if !okB || !bytes.Equal(b, lazyVarVal(int(k))) {
+						t.Errorf("var key %d = %q,%v", k, b, okB)
+						return
+					}
+				}
+			}
+			base := uint64(1<<40) | (w << 20)
+			for i := uint64(0); i < freshPerWorker; i++ {
+				if err := tbl2.Insert(base|i, base+i); err != nil {
+					t.Errorf("fresh insert %#x: %v", base|i, err)
+					return
+				}
+			}
+		}(uint64(w))
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+	tbl2.RecoverAll()
+
+	// Exactly-once recovery: every open-time segment through the gate once;
+	// split siblings born after Open are never counted.
+	if got := tbl2.Metrics().Snapshot().Counters["recovery.lazy.segments"]; got != uint64(segs0) {
+		t.Fatalf("recovery.lazy.segments = %d, want exactly %d", got, segs0)
+	}
+	if got := tbl2.Stats().RecoveryPendingSegments; got != 0 {
+		t.Fatalf("%d segments still pending", got)
+	}
+
+	deleted := int64(0)
+	for k := uint64(0); k < nOld; k++ {
+		v, ok := tbl2.Get(k)
+		switch k % 3 {
+		case 0:
+			if ok {
+				t.Fatalf("deleted key %d survived as %d", k, v)
+			}
+			deleted++
+		case 1:
+			if !ok || v != k*7+4 {
+				t.Fatalf("updated key %d = %d,%v want %d", k, v, ok, k*7+4)
+			}
+		default:
+			if !ok || v != k*7+3 {
+				t.Fatalf("key %d = %d,%v want %d", k, v, ok, k*7+3)
+			}
+		}
+	}
+	for w := uint64(0); w < workers; w++ {
+		base := uint64(1<<40) | (w << 20)
+		for i := uint64(0); i < freshPerWorker; i++ {
+			if v, ok := tbl2.Get(base | i); !ok || v != base+i {
+				t.Fatalf("fresh key %#x = %d,%v", base|i, v, ok)
+			}
+		}
+	}
+	wantCount := int64(nOld) - deleted + int64(nVar) + workers*freshPerWorker
+	if got := tbl2.Count(); got != wantCount {
+		t.Fatalf("Count = %d, want %d (ghost or duplicate slots)", got, wantCount)
+	}
+	if bad := tbl2.mirrorVerifyAll(); bad != 0 {
+		t.Fatalf("mirror diverges in %d buckets after gated recovery", bad)
+	}
+	if err := tbl2.verifyLogLive(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLazyCloseAfterCrashOpen: Close on a lazily opened table must force
+// full recovery and persist the count + clean marker, so the next reopen
+// takes the clean fast path with the exact count.
+func TestLazyCloseAfterCrashOpen(t *testing.T) {
+	pool, err := pmem.NewPool(pmem.Options{Size: 32 << 20, TrackCrashes: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := Create(pool, Options{InitialDepth: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 800
+	for k := uint64(0); k < n; k++ {
+		if err := tbl.Insert(k, k+1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	img := pool.Snapshot() // crash image
+
+	withLazyGates(t)
+	tbl2, pool2 := reopenImage(t, img)
+	tbl2.Close() // forces RecoverAll, then persists count + clean marker
+
+	tbl3, _ := reopenImage(t, pool2.Snapshot())
+	if got := tbl3.Stats().Count; got != n {
+		t.Fatalf("clean reopen Count = %d, want %d", got, n)
+	}
+	for k := uint64(0); k < n; k += 97 {
+		if v, ok := tbl3.Get(k); !ok || v != k+1 {
+			t.Fatalf("key %d = %d,%v", k, v, ok)
+		}
+	}
+	tbl3.Close()
+}

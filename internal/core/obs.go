@@ -24,10 +24,21 @@ type meters struct {
 	splitPublishStallNS *obs.Histogram
 
 	// Recovery phase wall times, indexed phaseDir..phaseMirrors; zero on a
-	// freshly created table. One-shot gauges, not counters: Open stores
-	// them once.
+	// freshly created table. phaseDir is stored once by Open; the lazy
+	// phases (segments/mirrors/log) accumulate as first-touch recoveries
+	// and the background sweep run, converging to the eager totals.
 	recoveryNS      [4]atomic.Int64
 	recoveryTotalNS atomic.Int64
+
+	// Lazy-recovery meters: Open's O(directory) wall time (time-to-first-op),
+	// the Open→sweep-done wall time (time-to-fully-recovered), per-segment
+	// first-touch latencies, and counters for recovered segments and blobs
+	// the background sweep free-listed.
+	recoveryOpenNS atomic.Int64
+	recoveryFullNS atomic.Int64
+	lazySegNS      *obs.Histogram
+	lazySegs       *obs.Counter
+	lazySweepFreed *obs.Counter
 }
 
 const (
@@ -97,6 +108,16 @@ func (t *Table) initObs() {
 	reg.Gauge("recovery.log_ns", func() int64 { return t.met.recoveryNS[phaseLog].Load() })
 	reg.Gauge("recovery.mirrors_ns", func() int64 { return t.met.recoveryNS[phaseMirrors].Load() })
 	reg.Gauge("recovery.total_ns", func() int64 { return t.met.recoveryTotalNS.Load() })
+
+	// Lazy recovery: restart latency split into time-to-first-op (Open's
+	// O(directory) work) and time-to-fully-recovered (background sweep
+	// done), plus the first-touch machinery's own meters.
+	reg.Gauge("recovery.open_ns", func() int64 { return t.met.recoveryOpenNS.Load() })
+	reg.Gauge("recovery.full_ns", func() int64 { return t.met.recoveryFullNS.Load() })
+	reg.Gauge("recovery.lazy.pending", func() int64 { return t.recoveryPending() })
+	t.met.lazySegNS = reg.Histogram("recovery.lazy.seg_ns")
+	t.met.lazySegs = reg.Counter("recovery.lazy.segments")
+	t.met.lazySweepFreed = reg.Counter("recovery.lazy.sweep_freed")
 
 	// Table shape.
 	reg.Gauge("table.count", func() int64 { return t.count.Load() })

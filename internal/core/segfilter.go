@@ -57,9 +57,10 @@ import (
 //     operation falls back to the PM path; if PM then says the route was
 //     fine, the mirror itself must be stale and is repaired in place
 //     (mirrorRepair, the cacheRepair of this layer);
-//   - Create installs mirrors segment by segment; Open rebuilds them all
-//     from the reconciled PM image after recovery (mirrorRebuildAll, one
-//     streaming read per segment);
+//   - Create installs mirrors segment by segment; Open installs none — each
+//     segment's mirror is built at its first-touch recovery (lazyrec.go),
+//     one streaming read per segment off the restart critical path, and the
+//     nil-means-bypass fallback below covers the window in between;
 //   - a hash-sampled cross-check (mirrorMaybeCheck) compares the home
 //     bucket's mirror against PM on ~1/1024 of mirror-served reads, so
 //     even a divergence with no detectable symptom (a poisoned bitmap
@@ -178,33 +179,6 @@ func mirrorFillBucket(p *pmem.Pool, mir *segMirror, seg pmem.Addr, bi int) {
 		ra := recordAddr(ba, slot)
 		mir.recWord(bi, slot, 0).Store(p.QuietLoadU64(ra))
 		mir.recWord(bi, slot, 1).Store(p.QuietLoadU64(ra.Add(8)))
-	}
-}
-
-// mirrorRebuildAll reconstructs every segment's mirror from the PM image —
-// the Open path, after recovery has reconciled directory, headers and
-// records. Single-threaded; O(data), one pass per segment, and the reason
-// reopening a table costs a full-table read where Create does not.
-func (t *Table) mirrorRebuildAll() {
-	p := t.pool
-	t.filters.m.Range(func(k, _ any) bool {
-		t.filters.m.Delete(k)
-		return true
-	})
-	t.filters.bytes.Store(0)
-	v := t.cache.view.Load()
-	seen := make(map[pmem.Addr]bool)
-	for i := range v.entries {
-		seg, local := unpackEntry(v.entries[i].Load())
-		if seg.IsNull() || seen[seg] {
-			continue
-		}
-		seen[seg] = true
-		mir := t.mirrorInstall(seg, local, segPattern(p, seg))
-		for bi := 0; bi < totalBuckets; bi++ {
-			p.TouchRead(segBucket(seg, bi), pmem.CachelineSize) // header line
-			mirrorFillBucket(p, mir, seg, bi)
-		}
 	}
 }
 

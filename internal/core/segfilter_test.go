@@ -222,6 +222,9 @@ func TestMirrorRebuildAfterCrash(t *testing.T) {
 	}
 	defer tbl2.Close()
 
+	// Mirrors install lazily at first touch; force every segment's
+	// recovery before running the quiescent coherence oracle.
+	tbl2.RecoverAll()
 	if bad := tbl2.mirrorVerifyAll(); bad != 0 {
 		t.Fatalf("rebuilt mirror diverges from PM in %d buckets", bad)
 	}

@@ -106,13 +106,24 @@ type TableStats struct {
 	LogFreeMisses uint64
 
 	// Recovery phase wall times from the Open that produced this table
-	// (zero after Create): directory rebuild, segment reconcile, record-log
-	// sweep, and the DRAM rebuild of the directory cache + filter mirrors.
+	// (zero after Create): directory rebuild (stored once by Open), segment
+	// reconcile, record-log sweep, and the per-segment filter-mirror
+	// installs. Under lazy recovery the last three accumulate as first
+	// touches and the background sweep run, converging to the eager totals.
 	RecoveryDirNS      int64
 	RecoverySegmentsNS int64
 	RecoveryLogNS      int64
 	RecoveryMirrorsNS  int64
 	RecoveryTotalNS    int64
+
+	// Lazy-recovery restart latency split: RecoveryOpenNS is Open's
+	// O(directory) wall time (time-to-first-op); RecoveryFullNS is
+	// Open→background-sweep-done (time-to-fully-recovered, 0 until it
+	// completes); RecoveryPendingSegments counts segments still awaiting
+	// first touch.
+	RecoveryOpenNS          int64
+	RecoveryFullNS          int64
+	RecoveryPendingSegments int64
 }
 
 // Stats walks the DRAM directory cache for the segment set — observing the
@@ -186,6 +197,10 @@ func (t *Table) Stats() TableStats {
 		RecoveryLogNS:      t.met.recoveryNS[phaseLog].Load(),
 		RecoveryMirrorsNS:  t.met.recoveryNS[phaseMirrors].Load(),
 		RecoveryTotalNS:    t.met.recoveryTotalNS.Load(),
+
+		RecoveryOpenNS:          t.met.recoveryOpenNS.Load(),
+		RecoveryFullNS:          t.met.recoveryFullNS.Load(),
+		RecoveryPendingSegments: t.recoveryPending(),
 	}
 	if hits+misses > 0 {
 		st.DirCacheHitRate = float64(hits) / float64(hits+misses)

@@ -63,11 +63,19 @@ const (
 	rootOffDir      = 24 // atomic: current directory block
 	rootOffAllocNxt = 32 // atomic: bump-allocator frontier
 	rootOffVarLog   = 40 // head of the variable-length record log's chunk chain
+	rootOffClean    = 48 // cleanShutdownMagic after Close; 0 while the table is open
+	rootOffCount    = 56 // record count persisted by a clean Close
 
 	tableMagic  = 0x44617368454831 // "DashEH1"
-	tableFormat = 2                // 2 = indirect (varlog) record format
+	tableFormat = 3                // 3 = clean-shutdown marker root; 2 = indirect (varlog) records
 	allocStart  = 256              // first allocatable offset; keeps blocks 256-aligned
 	allocAlign  = 256
+
+	// cleanShutdownMagic in the root's clean word certifies the image was
+	// left by Close with no operation in flight: every segment reconciled,
+	// every marker clear, the persisted count exact. Open consumes (clears)
+	// it immediately, so a crash after reopening takes the crash path.
+	cleanShutdownMagic = 0x436C65616E4F4B31 // "CleanOK1"
 )
 
 var (
@@ -134,6 +142,12 @@ type Table struct {
 
 	count atomic.Int64
 
+	// lazy is the deferred-recovery side table built by Open (lazyrec.go):
+	// non-nil while any segment still awaits its first-touch recovery or the
+	// background record-log sweep is unfinished. Nil on a created table and
+	// after recovery completes, restoring the ungated hot path.
+	lazy atomic.Pointer[lazyRecovery]
+
 	// splits counts completed segment splits; splitStallNS accumulates the
 	// wall time their exclusive publish windows (all bucket locks held,
 	// including any directory doubling) stalled the segment; splitAssists
@@ -191,6 +205,8 @@ func Create(pool *pmem.Pool, opt Options) (*Table, error) {
 	p.WriteU64(rootAddr.Add(rootOffSeed), opt.Seed)
 	p.StoreU64(rootAddr.Add(rootOffAllocNxt), allocStart)
 	p.WriteU64(rootAddr.Add(rootOffVarLog), 0) // record log grows lazily
+	p.WriteU64(rootAddr.Add(rootOffClean), 0)  // open (not cleanly shut down)
+	p.WriteU64(rootAddr.Add(rootOffCount), 0)
 	p.Persist(rootAddr, pmem.CachelineSize)
 	t.vlog = pmem.NewVarLog(p, rootAddr.Add(rootOffVarLog), 0, t.alloc)
 	t.initObs()
@@ -220,10 +236,15 @@ func Create(pool *pmem.Pool, opt Options) (*Table, error) {
 	return t, nil
 }
 
-// Open revives the table stored in pool — typically the media image left by
-// a crash — running recovery: directory/segment metadata reconciliation,
-// lock-word reset, and removal of the duplicate or ghost records an
-// interrupted split, displacement or stash insert may have left behind.
+// Open revives the table stored in pool with O(directory) work up front
+// (§4.6 instant restart): directory reconciliation, segment metadata and
+// lock-word fixes, dirCache rebuild. Everything O(data) — duplicate/ghost
+// sweeps, count re-derivation, filter-mirror installs — is deferred to each
+// segment's first touch (lazyrec.go), and the record-log sweep runs as an
+// incremental background pass. After a clean shutdown (Close persisted the
+// root's clean marker) even the deferred sweeps are skipped: first touch
+// only installs the segment's DRAM mirror. Call RecoverAll to force the
+// deferred work to complete synchronously.
 func Open(pool *pmem.Pool) (*Table, error) {
 	p := pool
 	if p.ReadU64(rootAddr.Add(rootOffMagic)) != tableMagic {
@@ -240,8 +261,16 @@ func Open(pool *pmem.Pool) (*Table, error) {
 	}
 	t.vlog = pmem.NewVarLog(p, rootAddr.Add(rootOffVarLog), 0, t.alloc)
 	t.initObs()
-	if err := t.recover(); err != nil {
+	clean := p.ReadU64(rootAddr.Add(rootOffClean)) == cleanShutdownMagic
+	// Consume the marker before anything else: from here on the image can
+	// diverge from the persisted count, so a crash must take the crash path.
+	p.WriteU64(rootAddr.Add(rootOffClean), 0)
+	p.Persist(rootAddr.Add(rootOffClean), 8)
+	if err := t.recoverLazy(clean); err != nil {
 		return nil, err
+	}
+	if lr := t.lazy.Load(); lr != nil && !disableBackgroundRecovery.Load() {
+		go t.driveRecovery(lr)
 	}
 	return t, nil
 }
@@ -259,8 +288,16 @@ func New(poolSize uint64, opt Options) (*Table, error) {
 // Pool returns the underlying persistent-memory pool.
 func (t *Table) Pool() *pmem.Pool { return t.pool }
 
-// Count returns the number of live records.
-func (t *Table) Count() int64 { return t.count.Load() }
+// Count returns the number of live records. While lazy recovery is still in
+// flight the exact global count needs every segment's contribution, so Count
+// first completes recovery synchronously (cheap after a clean shutdown: the
+// count itself came from the root, but the record-log sweep still runs).
+func (t *Table) Count() int64 {
+	if t.lazy.Load() != nil {
+		t.RecoverAll()
+	}
+	return t.count.Load()
+}
 
 // GlobalDepth returns the directory's current global depth, read from the
 // DRAM directory cache (exact: doublings swap the cached view before the
@@ -269,8 +306,20 @@ func (t *Table) GlobalDepth() uint8 {
 	return t.cache.view.Load().depth
 }
 
-// Close drains the epoch manager. The pool remains usable and reopenable.
-func (t *Table) Close() { t.em.Drain() }
+// Close shuts the table down cleanly: completes any in-flight lazy
+// recovery, drains the epoch manager, and persists the record count plus the
+// clean-shutdown marker so the next Open skips all per-segment work. The
+// caller must be quiescent (no operation in flight); the pool remains usable
+// and reopenable, and Close itself is idempotent. Mutating the table after
+// Close voids the marker's guarantee — reopen instead.
+func (t *Table) Close() {
+	t.RecoverAll()
+	t.em.Drain()
+	p := t.pool
+	p.WriteU64(rootAddr.Add(rootOffCount), uint64(t.count.Load()))
+	p.WriteU64(rootAddr.Add(rootOffClean), cleanShutdownMagic)
+	p.Persist(rootAddr, pmem.CachelineSize)
+}
 
 // alloc carves size bytes (256-aligned) out of the pool, reusing retired
 // blocks when one fits. The bump frontier is persisted immediately after the
@@ -439,6 +488,7 @@ func (t *Table) insertKV(pk *probeKey, kv pmem.KV) error {
 	b2 := (b + 1) % normalBuckets
 	for {
 		seg, _ := t.cache.route(parts)
+		t.ensureRecovered(seg)
 		mir := t.mirror(seg)
 		lockPair(p, mir, seg, b, b2)
 		if !t.validateRoute(parts, seg) {
@@ -546,6 +596,7 @@ func (t *Table) searchOpt(pk *probeKey) (pmem.KV, bool, bool) {
 	p := t.pool
 	for {
 		seg, _ := t.cache.route(pk.parts)
+		t.ensureRecovered(seg)
 		mir := t.mirror(seg)
 		if mir == nil {
 			// No mirror installed (unexpected steady-state): PM path.
@@ -623,6 +674,7 @@ func (t *Table) deleteByProbe(pk *probeKey) bool {
 	b2 := (b + 1) % normalBuckets
 	for {
 		seg, _ := t.cache.route(parts)
+		t.ensureRecovered(seg)
 		mir := t.mirror(seg)
 		lockPair(p, mir, seg, b, b2)
 		if !t.validateRoute(parts, seg) {
@@ -728,6 +780,7 @@ func (t *Table) updateByProbe(pk *probeKey, vb []byte, vu uint64) (bool, error) 
 	inline8 := vb == nil || len(vb) == 8
 	for {
 		seg, _ := t.cache.route(parts)
+		t.ensureRecovered(seg)
 		mir := t.mirror(seg)
 		lockPair(p, mir, seg, b, b2)
 		if !t.validateRoute(parts, seg) {
@@ -1382,15 +1435,20 @@ func (t *Table) assistConvert(sib pmem.Addr, pk *probeKey, kv pmem.KV) bool {
 	return ok
 }
 
-// recover reconciles the table image after a crash. The directory is the
-// source of truth: every segment's true coverage — and from it, its local
-// depth and pattern — is re-derived by letting deeper segments claim their
-// canonical entry ranges first. This completes a partially published split
-// (the new segment was fully durable before the first entry flip) and rolls
-// an unpublished one back to a harmless leak. Afterwards, version locks are
-// reset and records that an interrupted split, displacement or stash insert
-// left duplicated, misrouted or unreachable are swept out.
-func (t *Table) recover() error {
+// recoverLazy reconciles the table image with O(directory) work only. The
+// directory is the source of truth: every segment's true coverage — and from
+// it, its local depth and pattern — is re-derived by letting deeper segments
+// claim their canonical entry ranges first. This completes a partially
+// published split (the new segment was fully durable before the first entry
+// flip) and rolls an unpublished one back to a harmless leak; version locks
+// are reset and split markers cleared in the same per-segment pass (a small
+// constant per segment, so still O(directory)). The O(data) work — record
+// sweeps, dedupe, count derivation, mirror installs, the record-log sweep —
+// is deferred: recoverLazy builds the lazyRecovery side table and returns.
+// After a clean shutdown the image needs none of that reconciliation (the
+// passes are cheap no-ops, run anyway for their validation) and the count
+// comes straight from the root.
+func (t *Table) recoverLazy(clean bool) error {
 	p := t.pool
 	rstart := obs.Now()
 	dir := pmem.Addr(p.ReadU64(rootAddr.Add(rootOffDir)))
@@ -1450,8 +1508,6 @@ func (t *Table) recover() error {
 	if changed {
 		p.Persist(dirEntryAddr(dir, 0), 8*n)
 	}
-	dirDone := obs.Now()
-	t.recordRecoveryPhase(phaseDir, obs.PhaseDirectory, rstart, dirDone)
 
 	// Re-derive each segment's (depth, pattern) from its actual coverage and
 	// reset every bucket's version lock. Coverage ranges are contiguous by
@@ -1498,67 +1554,36 @@ func (t *Table) recover() error {
 		}
 	}
 
-	// Record sweeps, per segment:
-	//  1. drop records the directory now routes elsewhere (interrupted split
-	//     cleanup left them behind; the routed-to segment has the copy),
-	//  2. deduplicate keys within the segment (interrupted displacement
-	//     copies a record before deleting the original),
-	//  3. drop stash ghosts no home bucket knows about (crash between stash
-	//     record persist and home-metadata persist).
-	total := int64(0)
-	for _, s := range segs {
-		seg := s.addr
-		segSweep(p, seg, t.seed, func(rp hashfn.Parts, _ pmem.KV) bool {
-			return fixed[rp.DirIndex(g)] != seg
-		})
-		t.dedupeSegment(seg)
-		t.sweepStashGhosts(seg)
-		total += int64(segCount(p, seg))
+	// Validate the record log's chunk chain and snapshot the sweep frontier
+	// (O(#chunks)); the blob-level sweep itself is the background pass. Then
+	// mirror the reconciled directory into the DRAM cache — the last
+	// O(directory) step — and build the deferred-work side table.
+	if clean {
+		t.count.Store(int64(p.ReadU64(rootAddr.Add(rootOffCount))))
 	}
-	t.count.Store(total)
-	segDone := obs.Now()
-	t.recordRecoveryPhase(phaseSegments, obs.PhaseSegments, dirDone, segDone)
-
-	// Record-log sweep, after every slot-level sweep has settled: collect
-	// the blob addresses the surviving records reference, then let the log
-	// walk itself and reclaim every other blob — ones whose commit never
-	// landed (crash between blob write and commit) and committed ones no
-	// slot points at (crash between commit and slot publish, or between a
-	// copy-on-write's commit and its slot flip). Either way the reclaim is
-	// deterministic and no ghost record results: visibility is gated on
-	// bucket slots, which the sweeps above already reconciled.
-	refs := make(map[pmem.Addr]struct{})
-	for _, s := range segs {
-		for bi := 0; bi < totalBuckets; bi++ {
-			ba := segBucket(s.addr, bi)
-			m := p.LoadU64(ba.Add(bkOffMeta))
-			for slot := 0; slot < slotsPerBucket; slot++ {
-				if !metaSlotUsed(m, slot) {
-					continue
-				}
-				if w0 := p.QuietLoadU64(recordAddr(ba, slot)); recIsIndirect(w0) {
-					refs[recBlobAddr(w0)] = struct{}{}
-				}
-			}
-		}
-	}
-	if err := t.vlog.Recover(func(a pmem.Addr) bool {
-		_, ok := refs[a]
-		return ok
-	}); err != nil {
+	if err := t.vlog.RecoverChunks(); err != nil {
 		return err
 	}
-	logDone := obs.Now()
-	t.recordRecoveryPhase(phaseLog, obs.PhaseLog, segDone, logDone)
-	// The PM image is reconciled; mirror it into the DRAM directory cache
-	// with one O(directory) pass, then rebuild the per-segment filter
-	// mirrors from the healed buckets (all recovery mutators above ran with
-	// a nil mirror, so nothing stale can survive this).
 	t.cacheRebuild()
-	t.mirrorRebuildAll()
+
+	lr := &lazyRecovery{
+		clean:   clean,
+		g:       g,
+		fixed:   fixed,
+		openAt:  rstart,
+		pending: make(map[pmem.Addr]*segRecoverState, len(segs)),
+		order:   make([]pmem.Addr, 0, len(segs)),
+		refs:    make(map[pmem.Addr]struct{}),
+	}
+	for _, s := range segs {
+		lr.pending[s.addr] = &segRecoverState{}
+		lr.order = append(lr.order, s.addr)
+	}
+	lr.remaining.Store(int64(len(segs)))
+	t.lazy.Store(lr)
 	end := obs.Now()
-	t.recordRecoveryPhase(phaseMirrors, obs.PhaseMirrors, logDone, end)
-	t.met.recoveryTotalNS.Store(end - rstart)
+	t.recordRecoveryPhase(phaseDir, obs.PhaseDirectory, rstart, end)
+	t.met.recoveryOpenNS.Store(end - rstart)
 	return nil
 }
 

@@ -33,6 +33,7 @@ const (
 	EvRouteRepair   // stale dirCache route repaired; A = key hash
 	EvEpochAdvance  // epoch advanced; A = new epoch, B = objects reclaimed
 	EvRecovery      // recovery phase finished; Tag = phase, B = duration ns
+	EvSegRecover    // lazy first-touch segment recovery; A = segment addr, B = duration ns
 )
 
 var evNames = map[EventType]string{
@@ -51,6 +52,7 @@ var evNames = map[EventType]string{
 	EvRouteRepair:   "route-repair",
 	EvEpochAdvance:  "epoch-advance",
 	EvRecovery:      "recovery-phase",
+	EvSegRecover:    "seg-recover",
 }
 
 func (t EventType) String() string {

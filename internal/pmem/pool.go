@@ -70,6 +70,13 @@ type Pool struct {
 
 	// Crash-tracking state; nil unless EnableCrashTracking was called.
 	crash *crashTracker
+
+	// flushHook, when non-nil, runs at the top of every Flush, before any
+	// line reaches the media image — the persist boundary crash-injection
+	// tests hook to simulate power loss at each point a real machine could
+	// lose it. Installed via SetFlushHook; the hook may call Crash and panic
+	// to unwind the interrupted operation.
+	flushHook atomic.Pointer[func()]
 }
 
 type crashTracker struct {
@@ -185,6 +192,9 @@ func (p *Pool) Flush(a Addr, n uint64) {
 	if n == 0 {
 		return
 	}
+	if h := p.flushHook.Load(); h != nil {
+		(*h)()
+	}
 	p.check(a, n)
 	first := uint64(a) / CachelineSize
 	last := (uint64(a) + n - 1) / CachelineSize
@@ -216,6 +226,20 @@ func (p *Pool) copyLineToMedia(off uint64) {
 		// 8-aligned; store native-endian to stay byte-identical to the arena.
 		*(*uint64)(unsafe.Pointer(&p.crash.media[off+i])) = v
 	}
+}
+
+// SetFlushHook installs (or, with nil, removes) a callback invoked at the
+// start of every Flush, before any cacheline is copied to the media image.
+// Crash-point fuzz tests use it to count persist boundaries and simulate
+// power loss at the Kth one (typically by calling Crash and panicking out of
+// the interrupted operation). The hook must not itself touch the pool
+// through accounting accessors.
+func (p *Pool) SetFlushHook(h func()) {
+	if h == nil {
+		p.flushHook.Store(nil)
+		return
+	}
+	p.flushHook.Store(&h)
 }
 
 // Fence simulates SFENCE ordering of prior flushes. With the eager Flush

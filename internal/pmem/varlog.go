@@ -88,6 +88,13 @@ type VarLog struct {
 	// grow). Optional observability: set them before first use (obs.Counter
 	// methods are nil-safe, so unset meters cost one predicted branch).
 	FreeHits, FreeMisses *obs.Counter
+
+	// Sweep bounds captured by RecoverChunks: the head chunk and its bump
+	// frontier as of Open. A LogSweep walks only blobs that existed then;
+	// everything appended afterwards (above the frontier, or in chunks
+	// prepended since) is managed by the runtime Free/reuse paths alone.
+	sweepHead  Addr
+	sweepLimit uint64
 }
 
 const (
@@ -382,16 +389,14 @@ func (l *VarLog) ValueU64(a Addr) uint64 {
 	return binary.LittleEndian.Uint64(buf[:])
 }
 
-// Recover rebuilds the log's DRAM state from the chunk chain after Open,
-// walking every blob up to each chunk's persisted bump frontier and
-// classifying it: committed and referenced (the caller's slots point at it)
-// blobs stay live; everything else — blobs whose commit never landed, and
-// committed blobs no slot references (a crash between commit and slot
-// publish, or a copy-on-write update that never flipped its slot) — is
-// reclaimed onto the free list. A blob whose header never reached media
-// (capacity 0, or striding past the frontier) ends its chunk's walk; the
-// bytes behind it are leaked, never handed out twice.
-func (l *VarLog) Recover(referenced func(Addr) bool) error {
+// RecoverChunks rebuilds the log's chunk-level DRAM state after Open — the
+// O(#chunks) part of recovery that must run before any Append: it resets the
+// free list and space accounting, validates every chunk header, re-derives
+// chunkBytes, points the allocator at the head chunk, and snapshots the
+// sweep bounds (head chunk + its bump frontier) a later LogSweep classifies
+// blobs within. Blob classification itself is deferred to the sweep, so the
+// restart critical path never walks blob storage.
+func (l *VarLog) RecoverChunks() error {
 	p := l.pool
 	l.mu.Lock()
 	l.free = make(map[uint64][]Addr)
@@ -403,33 +408,160 @@ func (l *VarLog) Recover(referenced func(Addr) bool) error {
 
 	head := Addr(p.ReadU64(l.headAddr))
 	l.cur.Store(uint64(head))
+	l.sweepHead, l.sweepLimit = head, 0
 	for chunk := head; !chunk.IsNull(); {
 		size := p.ReadU64(chunk.Add(chunkOffSize))
 		bump := p.ReadU64(chunk.Add(chunkOffBump))
 		if size < chunkHeaderSize || bump < uint64(chunk)+chunkHeaderSize || bump > uint64(chunk)+size {
 			return fmt.Errorf("pmem: varlog chunk %#x corrupt (size %d bump %#x)", chunk, size, bump)
 		}
-		l.chunkBytes.Add(size)
-		for a := chunk.Add(chunkHeaderSize); uint64(a) < bump; {
-			h := p.ReadU64(a)
-			capBytes := blobHeaderCap(h)
-			if capBytes == 0 || uint64(a)+capBytes > bump {
-				break // header never persisted: leak the rest of this chunk
-			}
-			if p.ReadU64(a.Add(8)) == blobCommitMagic && referenced(a) {
-				l.liveBytes.Add(capBytes)
-				l.liveBlobs.Add(1)
-			} else {
-				l.mu.Lock()
-				l.free[capBytes] = append(l.free[capBytes], a)
-				l.mu.Unlock()
-				l.freeBytes.Add(capBytes)
-			}
-			a = a.Add(capBytes)
+		if chunk == head {
+			l.sweepLimit = bump
 		}
+		l.chunkBytes.Add(size)
 		chunk = Addr(p.ReadU64(chunk.Add(chunkOffNext)))
 	}
 	return nil
+}
+
+// LogSweep is a resumable walk over the blobs that existed when
+// RecoverChunks ran, classifying each exactly once: blobs the caller's
+// segments referenced at their recovery stay live (their space is accounted
+// as the baseline runtime Frees and Commits have been applying deltas to);
+// everything else — blobs whose commit never landed, and committed blobs no
+// slot references — is reclaimed onto the free list. A blob whose header
+// never reached media (capacity 0, or striding past the frontier) ends its
+// chunk's walk; the bytes behind it are leaked, never handed out twice.
+//
+// The sweep is safe against concurrent foreground traffic without locks:
+// it never visits spans appended after Open (bounded by the snapshot
+// frontier), and a pre-existing span can only be concurrently rewritten if
+// it was freed since Open — which requires it to have been referenced at
+// its segment's recovery, so the referenced check skips it without touching
+// its free-list state. Word reads are atomic, so a racing reuse's header
+// stores (same capacity by the exact-capacity reuse rule) never tear the
+// stride.
+type LogSweep struct {
+	l     *VarLog
+	chunk Addr   // current chunk; Null once the walk is exhausted
+	pos   Addr   // next blob address within chunk
+	limit uint64 // walk limit (absolute address) within current chunk
+}
+
+// SweepStart begins a sweep over the blobs captured by the last
+// RecoverChunks. The caller must guarantee the referenced sets it will pass
+// to Step are complete before stepping (every segment's references
+// collected), and must not run two sweeps concurrently.
+func (l *VarLog) SweepStart() *LogSweep {
+	s := &LogSweep{l: l, chunk: l.sweepHead, limit: l.sweepLimit}
+	if !s.chunk.IsNull() {
+		s.pos = s.chunk.Add(chunkHeaderSize)
+	}
+	return s
+}
+
+// Step classifies up to maxBlobs blobs and reports whether the sweep is
+// complete and how many blobs it free-listed. Call under an epoch guard when
+// lock-free readers are in play, and yield between steps: each step's PM
+// cost is bounded, so the sweep never blocks foreground operations.
+func (s *LogSweep) Step(maxBlobs int, referenced func(Addr) bool) (done bool, freed int) {
+	l, p := s.l, s.l.pool
+	for n := 0; n < maxBlobs; {
+		if s.chunk.IsNull() {
+			return true, freed
+		}
+		if uint64(s.pos) >= s.limit {
+			s.nextChunk()
+			continue
+		}
+		a := s.pos
+		h := p.QuietLoadU64(a)
+		capBytes := blobHeaderCap(h)
+		if capBytes == 0 || uint64(a)+capBytes > s.limit {
+			// Header never persisted: leak the rest of this chunk.
+			s.nextChunk()
+			continue
+		}
+		// One streaming charge for the header+commit line of this stride.
+		p.TouchRead(a, BlobHeaderSize)
+		if referenced(a) {
+			l.liveBytes.Add(capBytes)
+			l.liveBlobs.Add(1)
+		} else {
+			l.mu.Lock()
+			l.free[capBytes] = append(l.free[capBytes], a)
+			l.mu.Unlock()
+			l.freeBytes.Add(capBytes)
+			freed++
+		}
+		s.pos = a.Add(capBytes)
+		n++
+	}
+	return s.chunk.IsNull(), freed
+}
+
+// nextChunk advances the sweep to the following chunk in the chain; chunks
+// prepended since Open are never reached (the walk starts at the Open-time
+// head), and non-head chunks' frontiers are frozen, so the limit read here
+// is stable.
+func (s *LogSweep) nextChunk() {
+	p := s.l.pool
+	s.chunk = Addr(p.QuietLoadU64(s.chunk.Add(chunkOffNext)))
+	if s.chunk.IsNull() {
+		return
+	}
+	s.pos = s.chunk.Add(chunkHeaderSize)
+	s.limit = p.QuietLoadU64(s.chunk.Add(chunkOffBump))
+}
+
+// Recover is the synchronous composition RecoverChunks + a full sweep — the
+// eager-recovery convenience for callers (and tests) with no concurrent
+// traffic to stay out of the way of.
+func (l *VarLog) Recover(referenced func(Addr) bool) error {
+	if err := l.RecoverChunks(); err != nil {
+		return err
+	}
+	s := l.SweepStart()
+	for {
+		if done, _ := s.Step(1024, referenced); done {
+			return nil
+		}
+	}
+}
+
+// WalkBlobs calls fn for every blob currently reachable by a log walk (each
+// chunk up to its live bump frontier), reporting its capacity and whether
+// its commit word is set. Quiescent-state debug/test oracle: concurrent
+// appends void the walk's meaning.
+func (l *VarLog) WalkBlobs(fn func(a Addr, capBytes uint64, committed bool)) {
+	p := l.pool
+	for chunk := Addr(p.QuietLoadU64(l.headAddr)); !chunk.IsNull(); {
+		bump := p.QuietLoadU64(chunk.Add(chunkOffBump))
+		for a := chunk.Add(chunkHeaderSize); uint64(a) < bump; {
+			h := p.QuietLoadU64(a)
+			capBytes := blobHeaderCap(h)
+			if capBytes == 0 || uint64(a)+capBytes > bump {
+				break
+			}
+			fn(a, capBytes, p.QuietLoadU64(a.Add(8)) == blobCommitMagic)
+			a = a.Add(capBytes)
+		}
+		chunk = Addr(p.QuietLoadU64(chunk.Add(chunkOffNext)))
+	}
+}
+
+// FreeSpans snapshots the set of blob addresses parked on the DRAM free
+// list. Quiescent-state debug/test oracle.
+func (l *VarLog) FreeSpans() map[Addr]struct{} {
+	out := make(map[Addr]struct{})
+	l.mu.Lock()
+	for _, spans := range l.free {
+		for _, a := range spans {
+			out[a] = struct{}{}
+		}
+	}
+	l.mu.Unlock()
+	return out
 }
 
 // VarLogStats is a point-in-time view of the log's space accounting.
