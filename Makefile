@@ -22,10 +22,12 @@ fmt-check:
 	fi
 
 # docs-check enforces the documentation layer: go vet over everything (it
-# flags malformed doc comments) plus a missing-package-comment lint — every
+# flags malformed doc comments), a missing-package-comment lint — every
 # package directory must have at least one file opening with a "// Package"
-# (or, for main packages, "// Command") doc comment, so `go doc` explains
-# each layer's contract.
+# (or, for main packages, "// Command") doc comment — an exported-identifier
+# doc lint on internal/service (every top-level exported func/type/const/var
+# and exported method must carry a doc comment), and a stale-reference check
+# that greps the prose docs for identifiers that no longer exist in the code.
 docs-check: vet
 	@missing=$$($(GO) list -f '{{.Dir}} {{join .GoFiles " "}}' ./... | \
 	while read -r dir files; do \
@@ -38,16 +40,37 @@ docs-check: vet
 	if [ -n "$$missing" ]; then \
 		echo "packages missing a package doc comment:"; echo "$$missing"; exit 1; \
 	fi
-	@echo "docs-check: all packages documented"
+	@undoc=$$(for f in internal/service/*.go; do \
+		case "$$f" in *_test.go) continue;; esac; \
+		awk -v file="$$f" ' \
+			/^(func|type|const|var) [A-Z]/ || /^func \([^)]*\) [A-Z]/ { \
+				if (prev !~ /^\/\//) print file ":" FNR ": " $$0 } \
+			{ prev = $$0 }' "$$f"; \
+	done); \
+	if [ -n "$$undoc" ]; then \
+		echo "exported identifiers missing doc comments:"; echo "$$undoc"; exit 1; \
+	fi
+	@stale=$$(for ident in mirrorRebuildAll; do \
+		hits=$$(grep -rn "$$ident" README.md ARCHITECTURE.md ROADMAP.md 2>/dev/null); \
+		if [ -n "$$hits" ] && ! grep -rqw "$$ident" --include='*.go' .; then \
+			echo "$$hits"; \
+		fi; \
+	done); \
+	if [ -n "$$stale" ]; then \
+		echo "docs reference identifiers that no longer exist:"; echo "$$stale"; exit 1; \
+	fi
+	@echo "docs-check: all packages documented, service exports documented, no stale doc references"
 
 # bench-smoke is a seconds-long fixed configuration proving the whole
 # dashbench pipeline (workload → harness → CLI → JSON) end to end; the cost
 # model is off (-scale 0) so it measures nothing, it only has to run.
-# delete-heavy exercises the epoch-reclamation meters, and -recovery the
-# snapshot→reopen timing path.
+# delete-heavy exercises the epoch-reclamation meters, -recovery the
+# snapshot→reopen timing path, and -shards 2 -batch 8 the service tier
+# (shards + batched frontend + client simulation, baseline and batched).
 bench-smoke:
 	$(GO) run ./cmd/dashbench -only -mix balanced,read,read-neg,var-insert,var-read,delete-heavy -threads 2 \
 		-ops 8000 -warmup 800 -keyspace 8192 -scale 0 -recovery \
+		-shards 2 -batch 8 -sims svc-balanced \
 		-out $${TMPDIR:-/tmp}/BENCH_smoke.json
 
 # bench-gate is the perf-regression gate: one fixed seeded insert cell under
@@ -62,11 +85,14 @@ bench-gate:
 	$(GO) run ./cmd/benchgate -config bench-gate.json
 
 # bench is the real measurement matrix (core mix suite plus the
-# variable-length mixes × 1..8 threads under the full Optane cost model)
-# and writes the trajectory file BENCH_pr8.json, recovery timings included.
+# variable-length mixes × 1..8 threads under the full Optane cost model,
+# plus the service-tier suite: every client simulation at 4 shards ×
+# batch 16 against its 1×1 baseline) and writes the trajectory file
+# BENCH_pr9.json, recovery timings included.
 bench:
 	$(GO) run ./cmd/dashbench -threads 8 -ops 100000 -keyspace 100000 \
-		-mix var-insert,var-read,var-ycsb-b -recovery -out BENCH_pr8.json
+		-mix var-insert,var-read,var-ycsb-b -recovery \
+		-shards 4 -batch 16 -out BENCH_pr9.json
 
 # ci is the gate every change must pass: vet, build, the full test suite
 # under the race detector (the concurrency tests rely on it), the docs

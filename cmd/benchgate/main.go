@@ -41,6 +41,12 @@ type cellConfig struct {
 	Theta     float64 `json:"theta"`
 	Seed      uint64  `json:"seed"`
 	Scale     int64   `json:"scale"`
+	// Shards > 0 turns the cell into a service-tier cell: Mix names a
+	// client simulation (workload.ClientSims) instead of a mix, and the
+	// cell runs it at (Shards, Batch) plus at the unbatched single-table
+	// baseline (1, 1) to compare against.
+	Shards int `json:"shards,omitempty"`
+	Batch  int `json:"batch,omitempty"`
 }
 
 type cellThresholds struct {
@@ -54,6 +60,13 @@ type cellThresholds struct {
 	// core.Open's wall time (time-to-first-op, before any lazy per-segment
 	// work) must stay under the ceiling.
 	RecoveryOpenNSMax int64 `json:"recovery_open_ns_max"`
+	// Service-cell thresholds (Config.Shards > 0). SvcFenceRatioMax is the
+	// ceiling on (batched PM fences per op) / (unbatched baseline fences
+	// per op) — strictly below 1 asserts batching actually amortizes
+	// ordering points. SvcMopsRatioMin is the floor on batched aggregate
+	// throughput relative to the single-table baseline.
+	SvcFenceRatioMax float64 `json:"svc_fence_ratio_max,omitempty"`
+	SvcMopsRatioMin  float64 `json:"svc_mops_ratio_min,omitempty"`
 }
 
 type gateCell struct {
@@ -102,6 +115,9 @@ func main() {
 }
 
 func runCell(cell gateCell) bool {
+	if cell.Config.Shards > 0 {
+		return runSvcCell(cell)
+	}
 	mix, ok := workload.MixByName(cell.Config.Mix)
 	if !ok {
 		fatal(fmt.Errorf("unknown mix %q in gate cell %q", cell.Config.Mix, cell.Name))
@@ -160,6 +176,87 @@ func runCell(cell gateCell) bool {
 		res.Table.Splits, float64(res.Table.SplitStallNS)/1e6,
 		res.Table.SplitAssists, res.Counts.InsertOverflow, res.Counts.InsertTooLarge,
 		float64(res.Table.LogLiveBytes)/(1<<20))
+	return passed
+}
+
+// runSvcCell runs a service-tier gate cell: the simulation at the cell's
+// (shards, batch) and at the unbatched single-table baseline (1, 1), then
+// checks the batched run's fence count per op is a committed fraction of the
+// baseline's and its aggregate throughput at least matches it.
+func runSvcCell(cell gateCell) bool {
+	sim, ok := workload.ClientSimByName(cell.Config.Mix)
+	if !ok {
+		fatal(fmt.Errorf("unknown client sim %q in gate cell %q", cell.Config.Mix, cell.Name))
+	}
+	run := func(shards, batch int) *bench.ServiceResult {
+		cfg := bench.ServiceConfig{
+			Shards:    shards,
+			Batch:     batch,
+			Clients:   cell.Config.Threads,
+			Ops:       cell.Config.Ops,
+			WarmupOps: cell.Config.WarmupOps,
+			Keyspace:  cell.Config.Keyspace,
+			Theta:     cell.Config.Theta,
+			Sim:       sim,
+			Seed:      cell.Config.Seed,
+		}
+		if cell.Config.Scale > 0 {
+			cfg.Model = pmem.ScaledOptane(cell.Config.Scale)
+		}
+		res, err := bench.RunService(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		return res
+	}
+	fmt.Printf("benchgate[%s]: sim %s, %d clients, %d ops, keyspace %d, seed %d, scale %d — %d×%d vs 1×1 baseline\n",
+		cell.Name, sim.Name, cell.Config.Threads, cell.Config.Ops, cell.Config.Keyspace,
+		cell.Config.Seed, cell.Config.Scale, cell.Config.Shards, cell.Config.Batch)
+
+	baseline := run(1, 1)
+	target := run(cell.Config.Shards, cell.Config.Batch)
+
+	th := cell.Thresholds
+	passed := true
+	fenceRatio := 0.0
+	if baseline.FencesPerOp > 0 {
+		fenceRatio = target.FencesPerOp / baseline.FencesPerOp
+	}
+	mopsRatio := 0.0
+	if baseline.MopsPerS > 0 {
+		mopsRatio = target.MopsPerS / baseline.MopsPerS
+	}
+	if th.SvcFenceRatioMax > 0 {
+		status := "ok  "
+		if fenceRatio > th.SvcFenceRatioMax {
+			status = "FAIL"
+			passed = false
+		}
+		fmt.Printf("  %s %-26s %12.3f  (threshold <= %.3f; %.3f vs %.3f fences/op)\n",
+			status, "fence ratio vs baseline", fenceRatio, th.SvcFenceRatioMax,
+			target.FencesPerOp, baseline.FencesPerOp)
+	}
+	if th.SvcMopsRatioMin > 0 {
+		status := "ok  "
+		if mopsRatio < th.SvcMopsRatioMin {
+			status = "FAIL"
+			passed = false
+		}
+		fmt.Printf("  %s %-26s %12.3f  (threshold >= %.3f; %.3f vs %.3f Mops/s)\n",
+			status, "throughput vs baseline", mopsRatio, th.SvcMopsRatioMin,
+			target.MopsPerS, baseline.MopsPerS)
+	}
+	if th.LoadFactorMin > 0 {
+		status := "ok  "
+		if target.LoadFactor < th.LoadFactorMin {
+			status = "FAIL"
+			passed = false
+		}
+		fmt.Printf("  %s %-26s %12.2f  (threshold >= %.2f)\n", status, "load factor (mean)", target.LoadFactor, th.LoadFactorMin)
+	}
+	fmt.Printf("  info batch_mean=%.1f flush_saved=%d imbalance=%.3f reconnects=%d elided_per_op=%.3f\n",
+		target.BatchSizeMean, target.FlushSaved, target.Imbalance, target.Reconnects,
+		target.FencesElidedPerOp)
 	return passed
 }
 

@@ -15,9 +15,18 @@
 // -debug-addr serves the live table's metrics registry, flight-recorder
 // trace and pprof over HTTP while the run progresses.
 //
+// -shards N (with -batch B) additionally runs the service-tier suite: each
+// client-simulation profile (-sims, default all of workload.ClientSims) is
+// driven through a service.Shards + service.Frontend stack twice — once at
+// the unbatched single-table baseline (1 shard, batch 1) and once at the
+// requested (N, B) — so one BENCH file shows the fence amortization and
+// scaling the batched sharded pipeline buys. Service cells report
+// client-observed submit→completion latency plus per-shard rows.
+//
 // Example:
 //
 //	go run ./cmd/dashbench -threads 8 -mix balanced -debug-addr localhost:6060
+//	go run ./cmd/dashbench -only -shards 4 -batch 16 -sims svc-balanced
 package main
 
 import (
@@ -125,6 +134,36 @@ type cellJSON struct {
 	RecoveryLogNS       int64 `json:"recovery_log_ns,omitempty"`
 	RecoveryMirrorsNS   int64 `json:"recovery_mirrors_ns,omitempty"`
 	RecoveryTotalNS     int64 `json:"recovery_total_ns,omitempty"`
+
+	// Service-tier fields (schema v7; zero/absent for classic single-table
+	// cells). A service cell sets Mix to the client-simulation name and
+	// Threads to the simulated client count. shards/batch echo the tier
+	// shape; pm_fences_elided_per_op counts the per-op ordering points
+	// absorbed by batch-tail fences (pm_fences_per_op already reflects the
+	// saving); shard_batch_mean is the mean executor batch size;
+	// shard_flush_saved the fences saved versus unbatched execution;
+	// shard_imbalance the (max/mean − 1) spread of ops across shards;
+	// svc_reconnects the connection-churn session count; shard_rows the
+	// per-shard breakdown.
+	Shards              int            `json:"shards,omitempty"`
+	Batch               int            `json:"batch,omitempty"`
+	PMFencesElidedPerOp float64        `json:"pm_fences_elided_per_op,omitempty"`
+	ShardBatchMean      float64        `json:"shard_batch_mean,omitempty"`
+	ShardFlushSaved     uint64         `json:"shard_flush_saved,omitempty"`
+	ShardImbalance      float64        `json:"shard_imbalance,omitempty"`
+	SvcReconnects       int64          `json:"svc_reconnects,omitempty"`
+	ShardRows           []shardRowJSON `json:"shard_rows,omitempty"`
+}
+
+// shardRowJSON is one shard's row inside a service cell.
+type shardRowJSON struct {
+	Shard             int     `json:"shard"`
+	Ops               uint64  `json:"ops"`
+	FencesPerOp       float64 `json:"fences_per_op"`
+	FencesElidedPerOp float64 `json:"fences_elided_per_op"`
+	Count             int64   `json:"count"`
+	LoadFactor        float64 `json:"load_factor"`
+	Splits            uint64  `json:"splits"`
 }
 
 type benchJSON struct {
@@ -137,6 +176,8 @@ type benchJSON struct {
 		WarmupOps int64   `json:"warmup_ops"`
 		Seed      uint64  `json:"seed"`
 		CostScale int64   `json:"cost_scale"` // 0 = cost model disabled
+		Shards    int     `json:"shards,omitempty"`
+		Batch     int     `json:"batch,omitempty"`
 	} `json:"config"`
 	Results []cellJSON `json:"results"`
 }
@@ -157,6 +198,9 @@ func main() {
 		list      = flag.Bool("list", false, "list registered mixes and exit")
 		debugAddr = flag.String("debug-addr", "", "serve /metrics, /trace and /debug/pprof on this address for the duration of the run (e.g. localhost:6060)")
 		recovery  = flag.Bool("recovery", false, "after each cell, reopen its durable image and report recovery phase timings")
+		shards    = flag.Int("shards", 0, "run the service-tier suite over this many shards (power of two; 0 = skip the service suite)")
+		batch     = flag.Int("batch", 16, "frontend batch size for service-tier cells (1 = unbatched)")
+		sims      = flag.String("sims", "all", "comma-separated client simulations for the service suite; 'all' runs every registered one")
 	)
 	flag.Parse()
 
@@ -175,7 +219,11 @@ func main() {
 		return
 	}
 
-	mixes, err := selectMixes(*mixFlag, *only)
+	mixes, err := selectMixes(*mixFlag, *only, *shards > 0)
+	if err != nil {
+		fatal(err)
+	}
+	simList, err := selectSims(*sims, *shards)
 	if err != nil {
 		fatal(err)
 	}
@@ -194,13 +242,17 @@ func main() {
 		fmt.Printf("dashbench: debug endpoint on http://%s (/metrics, /trace, /debug/pprof)\n", srv.Addr())
 	}
 
-	outJSON := benchJSON{Bench: "dashbench", SchemaVersion: 6}
+	outJSON := benchJSON{Bench: "dashbench", SchemaVersion: 7}
 	outJSON.Config.Keyspace = *keyspace
 	outJSON.Config.Theta = *theta
 	outJSON.Config.OpsPerRun = *ops
 	outJSON.Config.WarmupOps = *warmup
 	outJSON.Config.Seed = *seed
 	outJSON.Config.CostScale = *scale
+	outJSON.Config.Shards = *shards
+	if *shards > 0 {
+		outJSON.Config.Batch = *batch
+	}
 
 	fmt.Printf("dashbench: %d mixes × threads %v, %d ops/cell, keyspace %d, theta %g, cost scale %d\n",
 		len(mixes), ladder, *ops, *keyspace, *theta, *scale)
@@ -261,6 +313,52 @@ func main() {
 		}
 	}
 
+	// Service-tier suite: each simulation at the unbatched single-table
+	// baseline (1, 1) then at the requested (-shards, -batch), so the fence
+	// amortization is visible inside one BENCH file.
+	if *shards > 0 {
+		svcOps := *ops
+		svcWarmup := *warmup
+		for _, sim := range simList {
+			fmt.Printf("\nservice sim %s (%d clients)\n", sim.Name, *threads)
+			fmt.Printf("  %13s %9s %9s %9s %9s %10s %9s %9s %7s %6s %6s\n",
+				"shards×batch", "Mops/s", "p50(µs)", "p99(µs)", "p999(µs)", "fences/op", "elided/op", "batchmean", "imbal", "reconn", "lf")
+			for _, shape := range [][2]int{{1, 1}, {*shards, *batch}} {
+				cfg := bench.ServiceConfig{
+					Shards:    shape[0],
+					Batch:     shape[1],
+					Clients:   *threads,
+					Ops:       svcOps,
+					WarmupOps: svcWarmup,
+					Keyspace:  *keyspace,
+					Theta:     *theta,
+					Sim:       sim,
+					Seed:      *seed,
+					PoolSize:  *poolSize,
+				}
+				if *scale > 0 {
+					cfg.Model = pmem.ScaledOptane(*scale)
+				}
+				res, err := bench.RunService(cfg)
+				if err != nil {
+					fatal(fmt.Errorf("sim %s shards %d batch %d: %w", sim.Name, shape[0], shape[1], err))
+				}
+				fmt.Printf("  %13s %9.3f %9.1f %9.1f %9.1f %10.3f %9.3f %9.1f %7.3f %6d %6.2f\n",
+					fmt.Sprintf("%d×%d", res.Shards, res.Batch), res.MopsPerS,
+					float64(res.P50NS)/1e3, float64(res.P99NS)/1e3, float64(res.P999NS)/1e3,
+					res.FencesPerOp, res.FencesElidedPerOp, res.BatchSizeMean,
+					res.Imbalance, res.Reconnects, res.LoadFactor)
+				if res.Shards > 1 {
+					for _, row := range res.PerShard {
+						fmt.Printf("          shard %d: %d ops, %.3f fences/op, count %d, lf %.2f, %d splits\n",
+							row.Shard, row.Ops, row.FencesPerOp, row.Count, row.LoadFactor, row.Splits)
+					}
+				}
+				outJSON.Results = append(outJSON.Results, toSvcCell(res))
+			}
+		}
+	}
+
 	if *out != "" {
 		data, err := json.MarshalIndent(outJSON, "", "  ")
 		if err != nil {
@@ -274,8 +372,9 @@ func main() {
 }
 
 // selectMixes resolves the mix set: the core suite plus -mix additions, or
-// exactly the -mix list under -only.
-func selectMixes(mixFlag string, only bool) ([]workload.Mix, error) {
+// exactly the -mix list under -only. An empty -only list is allowed when the
+// service suite runs instead (haveSvc).
+func selectMixes(mixFlag string, only, haveSvc bool) ([]workload.Mix, error) {
 	var names []string
 	if !only {
 		names = append(names, coreSuite...)
@@ -287,8 +386,8 @@ func selectMixes(mixFlag string, only bool) ([]workload.Mix, error) {
 		for _, n := range strings.Split(mixFlag, ",") {
 			names = append(names, strings.TrimSpace(n))
 		}
-	case only:
-		return nil, fmt.Errorf("-only requires -mix")
+	case only && !haveSvc:
+		return nil, fmt.Errorf("-only requires -mix (or -shards for the service suite)")
 	}
 	var mixes []workload.Mix
 	seen := map[string]bool{}
@@ -304,6 +403,31 @@ func selectMixes(mixFlag string, only bool) ([]workload.Mix, error) {
 		mixes = append(mixes, m)
 	}
 	return mixes, nil
+}
+
+// selectSims resolves the -sims list against the client-simulation registry;
+// empty when the service suite is off.
+func selectSims(simFlag string, shards int) ([]workload.ClientSim, error) {
+	if shards <= 0 {
+		return nil, nil
+	}
+	var names []string
+	if simFlag == "all" || simFlag == "" {
+		names = workload.ClientSimNames()
+	} else {
+		for _, n := range strings.Split(simFlag, ",") {
+			names = append(names, strings.TrimSpace(n))
+		}
+	}
+	var sims []workload.ClientSim
+	for _, n := range names {
+		s, ok := workload.ClientSimByName(n)
+		if !ok {
+			return nil, fmt.Errorf("unknown sim %q (registered: %s)", n, strings.Join(workload.ClientSimNames(), ", "))
+		}
+		sims = append(sims, s)
+	}
+	return sims, nil
 }
 
 // threadLadder returns the powers of two up to and including max.
@@ -384,6 +508,59 @@ func toCell(r *bench.Result) cellJSON {
 		RecoveryMirrorsNS:   r.RecoveryMirrorsNS,
 		RecoveryTotalNS:     r.RecoveryTotalNS,
 	}
+}
+
+// toSvcCell renders a service-tier result as a cell row: Mix carries the
+// simulation name, Threads the client count, and the shard_* fields the
+// service-specific telemetry; table-shape fields aggregate across shards.
+func toSvcCell(r *bench.ServiceResult) cellJSON {
+	c := cellJSON{
+		Mix:       r.Sim,
+		Threads:   r.Clients,
+		Ops:       r.Ops,
+		ElapsedNS: r.Elapsed.Nanoseconds(),
+		MopsPerS:  r.MopsPerS,
+		P50NS:     r.P50NS,
+		P90NS:     r.P90NS,
+		P99NS:     r.P99NS,
+		P999NS:    r.P999NS,
+		MaxNS:     r.MaxNS,
+		MaxUS:     float64(r.MaxNS) / 1e3,
+		MeanNS:    r.MeanNS,
+
+		PMReadBytesPerOp:    r.ReadBytesPerOp,
+		PMWriteBytesPerOp:   r.WriteBytesPerOp,
+		PMFlushedBytesPerOp: r.FlushedBytesPerOp,
+		PMFencesPerOp:       r.FencesPerOp,
+
+		Count:       r.Count,
+		GlobalDepth: r.GlobalDepthMax,
+		Segments:    r.Segments,
+		LoadFactor:  r.LoadFactor,
+
+		InsertOverflows: r.Counts.InsertOverflow,
+		InsertTooLarge:  r.Counts.InsertTooLarge,
+
+		Shards:              r.Shards,
+		Batch:               r.Batch,
+		PMFencesElidedPerOp: r.FencesElidedPerOp,
+		ShardBatchMean:      r.BatchSizeMean,
+		ShardFlushSaved:     r.FlushSaved,
+		ShardImbalance:      r.Imbalance,
+		SvcReconnects:       r.Reconnects,
+	}
+	for _, row := range r.PerShard {
+		c.ShardRows = append(c.ShardRows, shardRowJSON{
+			Shard:             row.Shard,
+			Ops:               row.Ops,
+			FencesPerOp:       row.FencesPerOp,
+			FencesElidedPerOp: row.FencesElidedPerOp,
+			Count:             row.Count,
+			LoadFactor:        row.LoadFactor,
+			Splits:            row.Splits,
+		})
+	}
+	return c
 }
 
 // liveSource adapts the cell currently running to obs.Source: bench.Run's

@@ -1,0 +1,87 @@
+package bench
+
+import (
+	"testing"
+
+	"dash/internal/workload"
+)
+
+// Every registered client simulation must run end to end through the
+// service harness at a small scale, pass its own lost-op audit, and show
+// fence elision working (elided > 0 on write-bearing mixes).
+func TestRunServiceAllSims(t *testing.T) {
+	for _, sim := range workload.ClientSims {
+		sim := sim
+		t.Run(sim.Name, func(t *testing.T) {
+			res, err := RunService(ServiceConfig{
+				Shards:    2,
+				Batch:     4,
+				Clients:   2,
+				Ops:       4000,
+				WarmupOps: 400,
+				Keyspace:  4096,
+				Sim:       sim,
+				Seed:      42,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Ops != 4000 {
+				t.Fatalf("Ops = %d, want 4000", res.Ops)
+			}
+			if res.Hist.Total() != 4000 {
+				t.Fatalf("latency samples = %d, want 4000", res.Hist.Total())
+			}
+			if len(res.PerShard) != 2 {
+				t.Fatalf("PerShard rows = %d, want 2", len(res.PerShard))
+			}
+			var shardOps uint64
+			for _, row := range res.PerShard {
+				shardOps += row.Ops
+			}
+			if shardOps != 4000 {
+				t.Fatalf("per-shard ops sum to %d, want 4000", shardOps)
+			}
+			if res.FencesElidedPerOp <= 0 {
+				t.Fatal("no fences elided; the batch window never engaged")
+			}
+			if sim.SessionOps > 0 && res.Reconnects == 0 {
+				t.Fatal("churn sim produced no reconnects")
+			}
+			if sim.ShardTheta != 0 && res.Imbalance <= 0 {
+				t.Fatal("hot-shard sim produced no shard imbalance")
+			}
+		})
+	}
+}
+
+// The batched configuration must use strictly fewer PM fences per op than
+// the unbatched baseline on a write-bearing simulation — the relation the
+// svc-balanced gate cell asserts with committed thresholds.
+func TestRunServiceFenceReduction(t *testing.T) {
+	sim, _ := workload.ClientSimByName("svc-balanced")
+	run := func(shards, batch int) *ServiceResult {
+		res, err := RunService(ServiceConfig{
+			Shards:    shards,
+			Batch:     batch,
+			Clients:   2,
+			Ops:       4000,
+			WarmupOps: 400,
+			Keyspace:  4096,
+			Sim:       sim,
+			Seed:      7,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	baseline := run(1, 1)
+	batched := run(2, 8)
+	if batched.FencesPerOp >= baseline.FencesPerOp {
+		t.Fatalf("batched %.3f fences/op, want < baseline %.3f", batched.FencesPerOp, baseline.FencesPerOp)
+	}
+	if batched.BatchSizeMean <= 1 {
+		t.Fatalf("batch mean %.2f, want > 1", batched.BatchSizeMean)
+	}
+}

@@ -104,6 +104,38 @@ type Options struct {
 	Seed uint64
 }
 
+// Deps bundles a table's explicitly injectable runtime dependencies, so a
+// multi-table embedding (the service tier's shards) wires each table's
+// machinery by hand instead of relying on constructor-internal defaults.
+// The persistent pieces are not here on purpose: the pool is the explicit
+// first constructor argument, and the record log is persistent state
+// anchored in that pool's root — its handle derives from the pool handle,
+// so pool and log always travel together.
+type Deps struct {
+	// Epoch is the table's epoch-reclamation manager. Managers are strictly
+	// per-table state (the table registers its reclamation meters on it and
+	// retires its own directory blocks and log blobs through it); injecting
+	// one manager into two tables is a misuse. A nil Epoch gets a fresh
+	// private manager — the single-table default. Injection exists so an
+	// embedding owns the manager's lifecycle and isolation: a reader stalled
+	// on one shard's table pins only that shard's reclamation, never a
+	// neighbor's.
+	Epoch *epoch.Manager
+	// NoBackgroundRecovery stops Open from spawning the background recovery
+	// driver, leaving all deferred per-segment work to first touches and
+	// explicit RecoverAll calls — for embeddings (and tests) that need
+	// deterministic control over when recovery work happens.
+	NoBackgroundRecovery bool
+}
+
+// resolveEpoch returns the injected manager or a fresh private one.
+func (d Deps) resolveEpoch() *epoch.Manager {
+	if d.Epoch != nil {
+		return d.Epoch
+	}
+	return epoch.NewManager()
+}
+
 // Table is a Dash extendible hash table living in a pmem.Pool.
 type Table struct {
 	pool *pmem.Pool
@@ -188,8 +220,16 @@ type freeSpan struct {
 	size uint64
 }
 
-// Create formats pool with an empty table and returns it.
+// Create formats pool with an empty table and returns it, with default
+// dependencies (a private epoch manager). Multi-table embeddings that wire
+// dependencies explicitly use CreateWith.
 func Create(pool *pmem.Pool, opt Options) (*Table, error) {
+	return CreateWith(pool, Deps{}, opt)
+}
+
+// CreateWith formats pool with an empty table using explicitly injected
+// dependencies; see Deps for what is injectable and why.
+func CreateWith(pool *pmem.Pool, deps Deps, opt Options) (*Table, error) {
 	if opt.Seed == 0 {
 		opt.Seed = hashfn.DefaultSeed
 	}
@@ -197,7 +237,7 @@ func Create(pool *pmem.Pool, opt Options) (*Table, error) {
 		opt.InitialDepth = 1
 	}
 	p := pool
-	t := &Table{pool: p, em: epoch.NewManager(), seed: opt.Seed,
+	t := &Table{pool: p, em: deps.resolveEpoch(), seed: opt.Seed,
 		mirrorSampleMask: mirrorSamplePeriod - 1}
 
 	p.WriteU64(rootAddr.Add(rootOffMagic), 0) // not a table until fully formatted
@@ -246,6 +286,12 @@ func Create(pool *pmem.Pool, opt Options) (*Table, error) {
 // only installs the segment's DRAM mirror. Call RecoverAll to force the
 // deferred work to complete synchronously.
 func Open(pool *pmem.Pool) (*Table, error) {
+	return OpenWith(pool, Deps{})
+}
+
+// OpenWith revives the table stored in pool like Open, using explicitly
+// injected dependencies; see Deps.
+func OpenWith(pool *pmem.Pool, deps Deps) (*Table, error) {
 	p := pool
 	if p.ReadU64(rootAddr.Add(rootOffMagic)) != tableMagic {
 		return nil, ErrNotATable
@@ -255,7 +301,7 @@ func Open(pool *pmem.Pool) (*Table, error) {
 	}
 	t := &Table{
 		pool:             p,
-		em:               epoch.NewManager(),
+		em:               deps.resolveEpoch(),
 		seed:             p.ReadU64(rootAddr.Add(rootOffSeed)),
 		mirrorSampleMask: mirrorSamplePeriod - 1,
 	}
@@ -269,7 +315,7 @@ func Open(pool *pmem.Pool) (*Table, error) {
 	if err := t.recoverLazy(clean); err != nil {
 		return nil, err
 	}
-	if lr := t.lazy.Load(); lr != nil && !disableBackgroundRecovery.Load() {
+	if lr := t.lazy.Load(); lr != nil && !deps.NoBackgroundRecovery && !disableBackgroundRecovery.Load() {
 		go t.driveRecovery(lr)
 	}
 	return t, nil

@@ -7,16 +7,18 @@ import "dash/internal/obs"
 // scalability bottleneck it measures: increments land on goroutine-private
 // cachelines and reads sum the shards.
 type Stats struct {
-	readLines  obs.Counter
-	writeLines obs.Counter
-	flushes    obs.Counter
-	fences     obs.Counter
+	readLines    obs.Counter
+	writeLines   obs.Counter
+	flushes      obs.Counter
+	fences       obs.Counter
+	elidedFences obs.Counter
 }
 
 func (s *Stats) addRead(lines uint64)  { s.readLines.Add(lines) }
 func (s *Stats) addWrite(lines uint64) { s.writeLines.Add(lines) }
 func (s *Stats) addFlush(lines uint64) { s.flushes.Add(lines) }
 func (s *Stats) addFence()             { s.fences.Inc() }
+func (s *Stats) addElidedFence()       { s.elidedFences.Inc() }
 
 // Register exposes the pool's traffic counters on an obs.Registry under
 // pmem.* names, so the engine's metrics endpoint shows PM traffic alongside
@@ -26,6 +28,7 @@ func (s *Stats) Register(r *obs.Registry) {
 	r.Gauge("pmem.write_lines", func() int64 { return int64(s.writeLines.Total()) })
 	r.Gauge("pmem.flushed_lines", func() int64 { return int64(s.flushes.Total()) })
 	r.Gauge("pmem.fences", func() int64 { return int64(s.fences.Total()) })
+	r.Gauge("pmem.fences_elided", func() int64 { return int64(s.elidedFences.Total()) })
 }
 
 // StatsSnapshot is a point-in-time view of PM traffic.
@@ -40,6 +43,10 @@ type StatsSnapshot struct {
 	ReadLines, WriteLines uint64
 	// FlushedLines counts cachelines flushed (CLWB), Fences counts SFENCEs.
 	FlushedLines, Fences uint64
+	// FencesElided counts fences absorbed by fence-batch windows
+	// (Pool.BeginFenceBatch): ordering points the caller would have paid
+	// without batching, covered instead by each window's single tail fence.
+	FencesElided uint64
 }
 
 // MediaReadBlocks estimates 256-byte media blocks read, Optane's internal
@@ -65,6 +72,7 @@ func (s StatsSnapshot) Sub(earlier StatsSnapshot) StatsSnapshot {
 		WriteLines:   sat(s.WriteLines, earlier.WriteLines),
 		FlushedLines: sat(s.FlushedLines, earlier.FlushedLines),
 		Fences:       sat(s.Fences, earlier.Fences),
+		FencesElided: sat(s.FencesElided, earlier.FencesElided),
 	}
 }
 
@@ -74,6 +82,7 @@ func (s *Stats) snapshot() StatsSnapshot {
 		WriteLines:   s.writeLines.Total(),
 		FlushedLines: s.flushes.Total(),
 		Fences:       s.fences.Total(),
+		FencesElided: s.elidedFences.Total(),
 	}
 }
 
@@ -86,4 +95,5 @@ func (s *Stats) reset() {
 	s.writeLines.Reset()
 	s.flushes.Reset()
 	s.fences.Reset()
+	s.elidedFences.Reset()
 }

@@ -1,0 +1,220 @@
+// Package service is the sharded KV service tier over the Dash-EH engine:
+// the shape every production embedding of Dash ends up with (a parameter
+// server, a feature store) — N fully independent tables behind one batched,
+// pipelined front-end.
+//
+// Two layers:
+//
+//   - Shards — N independent core.Tables, each with its own pmem.Pool,
+//     epoch manager and record log (core.Deps makes that wiring explicit).
+//     Keys route to shards by the high bits of a *routing* hash whose seed
+//     differs from every per-table hash seed, so shard routing and each
+//     table's MSB directory indexing draw from independent bit streams.
+//   - Frontend — an asynchronous request pipeline (frontend.go): clients
+//     submit Get/Insert/Update/Delete requests over per-shard channels, one
+//     executor goroutine per shard drains them in batches, and each write
+//     batch runs inside a pmem fence-batch window, paying one ordering
+//     fence per batch tail instead of one per operation.
+//
+// Nothing above a single table's crash consistency changes: each shard is a
+// complete, independently recoverable Dash table, and a batch is
+// acknowledged only after its tail fence, so every acknowledged operation
+// is durable in its shard's pool.
+package service
+
+import (
+	"fmt"
+	"math/bits"
+
+	"dash/internal/core"
+	"dash/internal/epoch"
+	"dash/internal/hashfn"
+	"dash/internal/pmem"
+)
+
+// routingSeedSalt decorrelates the shard-routing hash from the per-table
+// hashes. Routing MUST NOT reuse a table's hash seed: shard selection takes
+// the hash's top bits, and so does each table's MSB directory index — with
+// a shared seed every key inside one shard would carry the same top bits,
+// collapsing the per-shard directories onto a fraction of their entries.
+// With an independent seed the two decisions are uncorrelated.
+const routingSeedSalt = 0x737663726f757465 // "svcroute"
+
+// tableSeedSalt derives each shard table's hash seed from the service seed
+// and shard index; the odd multiplier keeps seeds distinct and nonzero.
+const tableSeedSalt = 0x9e3779b97f4a7c15
+
+// Config configures New.
+type Config struct {
+	// Shards is the shard count; it must be a power of two so routing can
+	// take the top bits of the routing hash. Defaults to 1.
+	Shards int
+	// PoolSize is the PM pool capacity per shard, in bytes.
+	PoolSize uint64
+	// Seed seeds both the routing hash and (derived per shard) each table's
+	// hash. Reopening the same images requires the same seed, because the
+	// routing seed is DRAM-only state.
+	Seed uint64
+	// InitialDepth is each shard table's starting global depth (see
+	// core.Options).
+	InitialDepth uint8
+	// Model, when non-nil, is the cost model installed on every shard's
+	// pool. Sharing one model across shards shares its bandwidth clocks,
+	// modeling shards that live on one socket's DIMMs.
+	Model *pmem.CostModel
+	// TrackCrashes enables crash tracking on every shard's pool (see
+	// pmem.Options).
+	TrackCrashes bool
+}
+
+// Shards is the sharded table layer: N independent core.Tables with
+// pool-per-shard isolation. Routing is deterministic in the config seed, so
+// a key always lands on the same shard across runs and restarts.
+type Shards struct {
+	routingSeed uint64
+	shift       uint // 64 - log2(n); 64 means a single shard
+	tables      []*core.Table
+	pools       []*pmem.Pool
+	ems         []*epoch.Manager
+}
+
+// New creates cfg.Shards fresh shards, each a newly formatted table in its
+// own pool with its own explicitly constructed epoch manager.
+func New(cfg Config) (*Shards, error) {
+	n := cfg.Shards
+	if n == 0 {
+		n = 1
+	}
+	if n < 0 || bits.OnesCount(uint(n)) != 1 {
+		return nil, fmt.Errorf("service: shard count %d is not a power of two", n)
+	}
+	s := &Shards{
+		routingSeed: cfg.Seed ^ routingSeedSalt,
+		shift:       64 - uint(bits.TrailingZeros(uint(n))),
+		tables:      make([]*core.Table, n),
+		pools:       make([]*pmem.Pool, n),
+		ems:         make([]*epoch.Manager, n),
+	}
+	for i := 0; i < n; i++ {
+		pool, err := pmem.NewPool(pmem.Options{
+			Size:         cfg.PoolSize,
+			CostModel:    cfg.Model,
+			TrackCrashes: cfg.TrackCrashes,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("service: shard %d pool: %w", i, err)
+		}
+		em := epoch.NewManager()
+		tb, err := core.CreateWith(pool, core.Deps{Epoch: em}, core.Options{
+			InitialDepth: cfg.InitialDepth,
+			Seed:         tableSeed(cfg.Seed, i),
+		})
+		if err != nil {
+			return nil, fmt.Errorf("service: shard %d create: %w", i, err)
+		}
+		s.pools[i] = pool
+		s.tables[i] = tb
+		s.ems[i] = em
+	}
+	return s, nil
+}
+
+// Open revives shards from existing pools — the restart path. The pools
+// must hold the durable images of a Shards created with the same cfg.Seed
+// (each table's own hash seed is persistent in its root; only the routing
+// seed is re-derived), in the same order; the shard count is len(pools).
+func Open(pools []*pmem.Pool, cfg Config) (*Shards, error) {
+	n := len(pools)
+	if n == 0 || bits.OnesCount(uint(n)) != 1 {
+		return nil, fmt.Errorf("service: shard count %d is not a power of two", n)
+	}
+	s := &Shards{
+		routingSeed: cfg.Seed ^ routingSeedSalt,
+		shift:       64 - uint(bits.TrailingZeros(uint(n))),
+		tables:      make([]*core.Table, n),
+		pools:       make([]*pmem.Pool, n),
+		ems:         make([]*epoch.Manager, n),
+	}
+	for i, pool := range pools {
+		em := epoch.NewManager()
+		tb, err := core.OpenWith(pool, core.Deps{Epoch: em})
+		if err != nil {
+			return nil, fmt.Errorf("service: shard %d open: %w", i, err)
+		}
+		s.pools[i] = pool
+		s.tables[i] = tb
+		s.ems[i] = em
+	}
+	return s, nil
+}
+
+// tableSeed derives shard i's table hash seed: distinct per shard, nonzero
+// (|1), and decorrelated from the routing seed by construction (the routing
+// hash uses seed^routingSeedSalt, never a table seed).
+func tableSeed(seed uint64, i int) uint64 {
+	return (seed+uint64(i)+1)*tableSeedSalt | 1
+}
+
+// N returns the shard count.
+func (s *Shards) N() int { return len(s.tables) }
+
+// Route returns the shard index owning a uint64 key: the top log2(N) bits
+// of the routing hash.
+func (s *Shards) Route(key uint64) int {
+	if s.shift == 64 {
+		return 0
+	}
+	return int(hashfn.HashU64(key, s.routingSeed) >> s.shift)
+}
+
+// RouteB returns the shard index owning a []byte key. An 8-byte key routes
+// by its byte hash, not its uint64 alias — callers must route a key the
+// same way they submit it (the frontend does).
+func (s *Shards) RouteB(key []byte) int {
+	if s.shift == 64 {
+		return 0
+	}
+	return int(hashfn.Hash64(key, s.routingSeed) >> s.shift)
+}
+
+// Table returns shard i's table.
+func (s *Shards) Table(i int) *core.Table { return s.tables[i] }
+
+// Pool returns shard i's pool.
+func (s *Shards) Pool(i int) *pmem.Pool { return s.pools[i] }
+
+// Epoch returns shard i's epoch manager — per-shard by construction, so a
+// stalled guard on one shard never delays another shard's reclamation.
+func (s *Shards) Epoch(i int) *epoch.Manager { return s.ems[i] }
+
+// Count sums the live record counts of all shards (completing any
+// in-flight lazy recovery, per core.Table.Count).
+func (s *Shards) Count() int64 {
+	var n int64
+	for _, tb := range s.tables {
+		n += tb.Count()
+	}
+	return n
+}
+
+// PMStats sums PM traffic across every shard's pool.
+func (s *Shards) PMStats() pmem.StatsSnapshot {
+	var agg pmem.StatsSnapshot
+	for _, p := range s.pools {
+		st := p.Stats()
+		agg.ReadLines += st.ReadLines
+		agg.WriteLines += st.WriteLines
+		agg.FlushedLines += st.FlushedLines
+		agg.Fences += st.Fences
+		agg.FencesElided += st.FencesElided
+	}
+	return agg
+}
+
+// Close shuts every shard down cleanly (see core.Table.Close). The caller
+// must be quiescent; close the Frontend first.
+func (s *Shards) Close() {
+	for _, tb := range s.tables {
+		tb.Close()
+	}
+}

@@ -237,10 +237,17 @@ type Stream struct {
 	r         *rng
 	cum       [numOpKinds]int // cumulative mix percentages
 	insertKey uint64          // next fresh insert key
+
+	// rankFn, when set, overrides the rank distribution — the hook the
+	// client-simulation streams use for shard-level skew (clientsim.go).
+	rankFn func(*rng) uint64
 }
 
 // rank draws a key rank in [0, Keyspace) from the configured distribution.
 func (s *Stream) rank() uint64 {
+	if s.rankFn != nil {
+		return s.rankFn(s.r)
+	}
 	if s.g.z != nil {
 		return s.g.z.next(s.r)
 	}
